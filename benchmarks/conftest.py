@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper (table, figure or
+argued claim) and prints the rows it reproduces; pytest-benchmark wraps the
+computation for timing.  Heavy simulations run once per benchmark
+(``benchmark.pedantic(..., rounds=1)``).
+"""
+
+from typing import Dict
+
+import pytest
+
+from repro.safety.iso13849 import Category, SafetyFunctionDesign
+
+
+@pytest.fixture
+def worksite_designs() -> Dict[str, SafetyFunctionDesign]:
+    """The worksite's safety-function designs used across benchmarks."""
+    return {
+        "people_detection_stop": SafetyFunctionDesign(
+            "people_detection_stop", Category.CAT3, 40.0, 0.95),
+        # geofence dimensioned to meet its PLr standalone (category 2,
+        # MTTFd high, DC medium -> PL d), so interplay gaps on it are
+        # genuinely invisible to a safety-only assessment
+        "geofence": SafetyFunctionDesign("geofence", Category.CAT2, 35.0, 0.92),
+        "protective_stop": SafetyFunctionDesign(
+            "protective_stop", Category.CAT3, 60.0, 0.95),
+        "speed_limiter": SafetyFunctionDesign(
+            "speed_limiter", Category.CAT2, 30.0, 0.7),
+    }
+
+
+def run_once(benchmark, func):
+    """Run a heavy computation exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

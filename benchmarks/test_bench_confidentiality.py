@@ -1,0 +1,65 @@
+"""E-A4 — Table I "Confidentiality of Operations": what eavesdropping gets.
+
+Paper artefact: Table I's confidentiality row — forestry operations (e.g.
+near military sites) must keep their communications confidential; the
+operations data asset (land ownership, telemetry) must not leak.
+Reproduction: a passive eavesdropper at the perimeter captures all worksite
+traffic for 15 minutes under each record-protection profile; report what it
+could read.  Shape expectation: plaintext leaks everything including a full
+machine movement track; INTEGRITY still leaks content (authenticity is not
+confidentiality); AEAD leaks nothing but traffic volume.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import Table
+from repro.comms.crypto.secure_channel import SecurityProfile
+from repro.scenarios.campaigns import build_campaign
+from repro.scenarios.worksite import ScenarioConfig, build_worksite
+
+HORIZON_S = 900.0
+
+
+def _run_profile(profile):
+    scenario = build_worksite(ScenarioConfig(seed=81, profile=profile))
+    campaign = build_campaign("eavesdropping", scenario, start=60.0)
+    campaign.arm()
+    scenario.run(HORIZON_S)
+    attack = campaign.steps[0].attack
+    return {
+        "profile": profile.value,
+        "frames": attack.frames_observed,
+        "disclosed": attack.messages_disclosed,
+        "ratio": attack.disclosure_ratio,
+        "positions": attack.positions_tracked,
+        "types": dict(sorted(attack.disclosed_types.items())),
+    }
+
+
+def _run_all():
+    return [_run_profile(profile) for profile in SecurityProfile]
+
+
+def test_confidentiality_of_operations(benchmark):
+    rows = run_once(benchmark, _run_all)
+
+    table = Table(
+        ["record profile", "frames observed", "messages read",
+         "disclosure ratio", "machine positions tracked", "leaked types"],
+        title="E-A4  passive eavesdropper vs record protection (15 min)",
+    )
+    for r in rows:
+        table.add_row(r["profile"], r["frames"], r["disclosed"],
+                      round(r["ratio"], 3), r["positions"],
+                      ", ".join(r["types"]) or "-")
+    table.print()
+
+    by_profile = {r["profile"]: r for r in rows}
+    # plaintext: the operation is an open book, including a movement track
+    assert by_profile["plaintext"]["positions"] > 100
+    assert by_profile["plaintext"]["ratio"] > 0.5
+    # integrity-only: authenticity is not confidentiality
+    assert by_profile["integrity"]["positions"] > 100
+    # AEAD: nothing readable
+    assert by_profile["aead"]["disclosed"] == 0
+    assert by_profile["aead"]["positions"] == 0

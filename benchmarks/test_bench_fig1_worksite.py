@@ -1,0 +1,69 @@
+"""E-F1 — Figure 1: the partially-autonomous worksite under nominal operation.
+
+Paper artefact: Figure 1 illustrates the envisioned worksite (autonomous
+forwarder, observation drone, manually-operated harvester, workers).
+Reproduction: run the composed worksite for 30 simulated minutes across
+seeds and report productivity and safety.  Shape expectation: productive
+log transport, zero ground-truth safety violations, high radio delivery,
+drone availability high but below 1 (battery cycles).
+"""
+
+from conftest import run_once
+
+from repro.analysis.stats import mean, summarize
+from repro.analysis.tables import Table
+from repro.scenarios.worksite import ScenarioConfig, build_worksite
+
+SEEDS = (11, 12, 13)
+HORIZON_S = 1800.0
+
+
+def _run_seed(seed):
+    scenario = build_worksite(ScenarioConfig(seed=seed))
+    scenario.run(HORIZON_S)
+    drone_avail = (
+        scenario.drone.airborne_time / HORIZON_S if scenario.drone else 0.0
+    )
+    safety = scenario.safety_monitor.summary()
+    return {
+        "seed": seed,
+        "delivered_m3": scenario.mission.delivered_m3,
+        "cycles": scenario.mission.cycles_completed,
+        "distance_m": scenario.forwarder.distance_travelled,
+        "delivery_ratio": scenario.medium.delivery_ratio,
+        "drone_availability": drone_avail,
+        "violations": safety["violations"],
+        "near_misses": safety["near_misses"],
+        "safe_stops": scenario.forwarder.safe_stops,
+        "persons_confirmed": len(scenario.safety_function.first_confirm_times),
+    }
+
+
+def _run_all():
+    return [_run_seed(seed) for seed in SEEDS]
+
+
+def test_fig1_worksite_nominal(benchmark):
+    results = run_once(benchmark, _run_all)
+
+    table = Table(
+        ["seed", "delivered m3", "cycles", "driven m", "delivery ratio",
+         "drone avail", "violations", "near misses", "safe stops"],
+        title="E-F1  Figure 1 worksite, nominal 30 min (per seed)",
+    )
+    for r in results:
+        table.add_row(
+            r["seed"], r["delivered_m3"], r["cycles"], round(r["distance_m"]),
+            round(r["delivery_ratio"], 3), round(r["drone_availability"], 2),
+            r["violations"], r["near_misses"], r["safe_stops"],
+        )
+    table.print()
+    summary = summarize([r["delivered_m3"] for r in results])
+    print(f"delivered m3: mean {summary.mean:.1f} "
+          f"[{summary.ci_low:.1f}, {summary.ci_high:.1f}] (bootstrap 95% CI)")
+
+    # shape: productive, safe, connected
+    assert all(r["delivered_m3"] > 0 for r in results)
+    assert all(r["violations"] == 0 for r in results)
+    assert mean([r["delivery_ratio"] for r in results]) > 0.9
+    assert all(r["persons_confirmed"] >= 1 for r in results)

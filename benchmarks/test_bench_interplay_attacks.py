@@ -1,0 +1,147 @@
+"""E-S4B — the safety-cybersecurity interplay, measured live and assessed.
+
+Paper artefact: Section III-B — "cybersecurity threats, e.g., attacks on
+communication, can potentially lead to unsafe behaviour"; the methodology
+must treat the interplay that separate assessments miss.
+
+Two parts:
+
+1. **Live interplay** — run the worksite under attack campaigns with the
+   defence suite on vs off; measure productivity and safety-relevant
+   degradation (detection losses, forced stops/slowdowns).
+2. **Assessment interplay** — the combined methodology over the same item:
+   interplay findings (feasible attack breaks a safety function's PL) and
+   how many of them both separate assessments miss.
+
+Shape expectation: attacks degrade the undefended worksite markedly and the
+defended one mildly; the combined assessment finds interplay gaps and, at a
+conventional acceptance threshold, at least some are invisible separately.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import Table
+from repro.comms.crypto.secure_channel import SecurityProfile
+from repro.core.methodology import CombinedAssessment
+from repro.safety.hazards import HazardCatalog
+from repro.safety.iso13849 import Category, SafetyFunctionDesign
+from repro.scenarios.campaigns import build_campaign
+from repro.scenarios.worksite import (
+    ScenarioConfig,
+    build_worksite,
+    worksite_item_model,
+)
+from repro.sos.zones import worksite_zone_model
+
+HORIZON_S = 1500.0
+ATTACKS = ("rf_jamming", "gnss_spoofing", "wifi_deauth", "message_injection")
+
+
+def _config(defended: bool, seed: int) -> ScenarioConfig:
+    if defended:
+        return ScenarioConfig(seed=seed)
+    return ScenarioConfig(
+        seed=seed,
+        profile=SecurityProfile.PLAINTEXT,
+        protected_management=False,
+        defenses_enabled=False,
+        access_control_enabled=False,
+    )
+
+
+def _run_cell(attack: str, defended: bool, seed: int = 31) -> dict:
+    scenario = build_worksite(_config(defended, seed))
+    campaign = build_campaign(attack, scenario, start=300.0, duration=600.0)
+    campaign.arm()
+    scenario.run(HORIZON_S)
+    safety = scenario.safety_monitor.summary()
+    forged_executed = 0
+    if attack == "message_injection":
+        forged_executed = scenario.command_channel.executed
+    return {
+        "attack": attack,
+        "defended": defended,
+        "delivered_m3": scenario.mission.delivered_m3,
+        "delivery_ratio": round(scenario.medium.delivery_ratio, 3),
+        "violations": safety["violations"],
+        "near_misses": safety["near_misses"],
+        "rejected_records": scenario.network.nodes["forwarder"].records_rejected,
+        "forged_commands_executed": forged_executed,
+        "alerts": len(scenario.ids_manager.alerts) if scenario.ids_manager else 0,
+    }
+
+
+def _run_live():
+    benign = {
+        defended: _run_cell_benign(defended) for defended in (True, False)
+    }
+    cells = []
+    for attack in ATTACKS:
+        for defended in (True, False):
+            cells.append(_run_cell(attack, defended))
+    return benign, cells
+
+
+def _run_cell_benign(defended: bool, seed: int = 31) -> dict:
+    scenario = build_worksite(_config(defended, seed))
+    scenario.run(HORIZON_S)
+    return {
+        "delivered_m3": scenario.mission.delivered_m3,
+        "delivery_ratio": round(scenario.medium.delivery_ratio, 3),
+    }
+
+
+def _run_assessment(designs):
+    # the deployed-measures configuration: crypto and monitors in place, so
+    # several attack feasibilities drop into the security-acceptance band —
+    # exactly where the separate-assessment blind spot lives
+    item = worksite_item_model()
+    result = CombinedAssessment(
+        item, HazardCatalog(), designs, worksite_zone_model(),
+        deployed_measures=["secure_channel_aead", "pki_mutual_auth",
+                           "gnss_plausibility", "camera_redundancy"],
+        acceptance_threshold=3,
+    ).run()
+    return result
+
+
+def test_interplay_live_and_assessed(benchmark, worksite_designs):
+    (benign, cells) = run_once(benchmark, _run_live)
+
+    table = Table(
+        ["attack", "defences", "delivered m3", "delivery ratio", "violations",
+         "near misses", "records rejected", "forged cmds executed", "alerts"],
+        title=(
+            "E-S4B  Attacks on comms become safety/productivity effects "
+            f"(benign delivered: defended {benign[True]['delivered_m3']}, "
+            f"undefended {benign[False]['delivered_m3']} m3)"
+        ),
+    )
+    for cell in cells:
+        table.add_row(
+            cell["attack"], "on" if cell["defended"] else "off",
+            cell["delivered_m3"], cell["delivery_ratio"], cell["violations"],
+            cell["near_misses"], cell["rejected_records"],
+            cell["forged_commands_executed"], cell["alerts"],
+        )
+    table.print()
+
+    # assessment part (fast; outside the timed section for clarity)
+    result = _run_assessment(worksite_designs)
+    gaps = result.interplay_gaps
+    misses = result.separate_verdict_misses()
+    print(f"combined assessment: {len(result.interplay_findings)} interplay "
+          f"findings, {len(gaps)} assurance gaps, "
+          f"{len(misses)} missed by BOTH separate assessments "
+          f"(threats: {sorted({m.threat_id for m in misses})})")
+
+    by_key = {(c["attack"], c["defended"]): c for c in cells}
+    # forged commands only execute without defences
+    assert by_key[("message_injection", False)]["forged_commands_executed"] > 0
+    assert by_key[("message_injection", True)]["forged_commands_executed"] == 0
+    # the defended worksite detects every attack type it has coverage for
+    assert all(by_key[(a, True)]["alerts"] > 0 for a in ATTACKS)
+    # the assessment finds interplay gaps, and some are invisible to both
+    # separate assessments — the paper's core argument
+    assert gaps
+    assert misses

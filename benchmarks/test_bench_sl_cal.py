@@ -1,0 +1,94 @@
+"""E-S4D — the standards side: IEC 62443 SL gaps and ISO 21434 CALs agree.
+
+Paper artefact: Section IV-D argues requirements can be extracted from
+ISO/SAE 21434 and IEC 62443 with IEC TS 63074 bridging them to machinery
+safety.  Reproduction: zone/conduit SL-T vs SL-A gap analysis of the
+worksite across deployment stages, and the CAL distribution of the TARA.
+Shape expectation: the bare worksite has large gaps concentrated in the
+safety zone; staged deployment closes them monotonically; safety-coupled
+threats carry the highest CALs (the two calculi rank the same assets
+highest).
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import Table
+from repro.risk.tara import Tara
+from repro.scenarios.worksite import worksite_item_model
+from repro.sos.zones import worksite_zone_model
+
+STAGES = {
+    "bare (no measures)": [],
+    "crypto only": ["pki_mutual_auth", "secure_channel_aead", "data_encryption",
+                    "integrity_hmac"],
+    "crypto + link/IDS": ["pki_mutual_auth", "secure_channel_aead",
+                          "data_encryption", "integrity_hmac",
+                          "protected_management_frames", "signature_ids",
+                          "anomaly_ids", "spec_ids"],
+    "full catalog": ["pki_mutual_auth", "secure_channel_aead", "data_encryption",
+                     "integrity_hmac", "protected_management_frames",
+                     "signature_ids", "anomaly_ids", "spec_ids",
+                     "rbac_command_authorization", "gnss_plausibility",
+                     "camera_redundancy", "anti_hacking_ai", "secure_boot",
+                     "remote_attestation", "channel_agility",
+                     "offline_recovery_plan", "session_lockout"],
+}
+
+
+def _run_stages():
+    rows = []
+    for label, measures in STAGES.items():
+        model = worksite_zone_model(
+            deployed_safety_zone=measures,
+            deployed_supervision_zone=measures,
+            deployed_conduits=measures,
+        )
+        report = model.assessment()
+        safety_gaps = sum(report["zone:safety-control"]["gaps"].values())
+        rows.append((
+            label,
+            model.total_gap(),
+            safety_gaps,
+            sum(report["conduit:site-radio"]["gaps"].values()),
+            report["zone:safety-control"]["compliant"],
+        ))
+    return rows
+
+
+def test_sl_gaps_and_cal(benchmark):
+    rows = run_once(benchmark, _run_stages)
+
+    table = Table(
+        ["deployment stage", "total SL gap", "safety-zone gap",
+         "site-radio conduit gap", "safety zone compliant"],
+        title="E-S4D  IEC 62443 SL-T vs SL-A across deployment stages",
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+
+    # CAL distribution of the TARA
+    result = Tara(worksite_item_model()).assess()
+    cal_counts = {}
+    for assessment in result.assessments:
+        cal_counts[assessment.cal.name] = cal_counts.get(assessment.cal.name, 0) + 1
+    cal_table = Table(
+        ["CAL", "threat scenarios", "of which safety-coupled"],
+        title="E-S4D  ISO/SAE 21434 CAL distribution",
+    )
+    for cal in sorted(cal_counts):
+        coupled = sum(
+            1 for a in result.assessments
+            if a.cal.name == cal and a.safety_coupled
+        )
+        cal_table.add_row(cal, cal_counts[cal], coupled)
+    cal_table.print()
+
+    # shape: gaps fall monotonically with deployment
+    gaps = [row[1] for row in rows]
+    assert gaps == sorted(gaps, reverse=True)
+    assert gaps[-1] < gaps[0] / 3
+    # the two calculi agree on ranking: highest CALs are safety-coupled
+    top_cal = max(a.cal for a in result.assessments)
+    top = [a for a in result.assessments if a.cal == top_cal]
+    assert any(a.safety_coupled for a in top)

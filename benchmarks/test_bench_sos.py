@@ -1,0 +1,89 @@
+"""E-S4E — SoS integration changes the risk posture (Waller & Craddock).
+
+Paper artefact: Section IV-E summarises the five SoS cybersecurity problem
+dimensions.  Reproduction: per-system TARA vs the SoS-level assessment with
+reach amplification, the structural independence indices, SPOF analysis,
+and emergent cross-system interactions mined from a live attacked run.
+Shape expectation: SoS risk ≥ per-system risk with strictly amplified
+threats on hub systems; the worksite's independence indices are materially
+non-zero on every dimension; the combined attack campaign produces
+cross-system cascades a per-system view cannot attribute.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import Table
+from repro.core.sos_assessment import SosAssessment
+from repro.risk.tara import Tara
+from repro.scenarios.campaigns import build_campaign
+from repro.scenarios.worksite import (
+    ScenarioConfig,
+    build_worksite,
+    worksite_item_model,
+)
+from repro.sos.composition import worksite_sos
+from repro.sos.emergence import EmergenceDetector
+
+HORIZON_S = 1800.0
+
+
+def _run_sos():
+    item = worksite_item_model()
+    sos = worksite_sos()
+    tara = Tara(item).assess()
+
+    # live run under the staged multi-vector campaign for emergence mining
+    scenario = build_worksite(ScenarioConfig(seed=51))
+    campaign = build_campaign("combined", scenario, start=300.0)
+    campaign.arm()
+    scenario.run(HORIZON_S)
+    detector = EmergenceDetector(min_sources=3, density_threshold=2.5)
+    emergent = detector.detect(scenario.log, HORIZON_S)
+
+    assessment = SosAssessment(sos, item).assess(tara, emergent=emergent)
+    return sos, tara, assessment, emergent
+
+
+def test_sos_assessment(benchmark):
+    sos, tara, assessment, emergent = run_once(benchmark, _run_sos)
+    independence = assessment.independence
+
+    dims = Table(
+        ["Waller & Craddock dimension", "index [0,1]"],
+        title="E-S4E  SoS structural indices of the worksite",
+    )
+    dims.add_row("management independence", round(independence.management_independence, 2))
+    dims.add_row("operational independence", round(independence.operational_independence, 2))
+    dims.add_row("evolutionary divergence", round(independence.evolutionary_divergence, 2))
+    dims.add_row("geographic distribution", round(independence.geographic_distribution, 2))
+    dims.add_row("policy heterogeneity", round(independence.policy_heterogeneity, 2))
+    dims.add_row("(aggregate complexity)", round(independence.complexity_index(), 2))
+    dims.print()
+
+    risk = Table(
+        ["view", "mean risk", "max risk", "amplified threats"],
+        title="E-S4E  per-system vs SoS-level risk",
+    )
+    risk.add_row("per-system (standalone TARA)",
+                 round(assessment.mean_standalone_risk(), 2),
+                 max(v.standalone_risk for v in assessment.threat_views), "-")
+    risk.add_row("SoS (reach-amplified)",
+                 round(assessment.mean_sos_risk(), 2),
+                 max(v.reach_amplified_risk for v in assessment.threat_views),
+                 len(assessment.amplified_threats()))
+    risk.print()
+
+    print(f"SoS uplift: {assessment.sos_uplift():.1%}")
+    print(f"single points of failure (safety chains): {assessment.spofs}")
+    print(f"emergent cross-system interactions during combined campaign: "
+          f"{assessment.emergent_interactions} "
+          f"({assessment.emergent_safety_interactions} safety-relevant)")
+
+    # shape checks
+    assert assessment.mean_sos_risk() >= assessment.mean_standalone_risk()
+    assert assessment.amplified_threats()
+    assert {"drone", "control_station"} <= set(assessment.spofs)
+    for value in (independence.management_independence,
+                  independence.operational_independence,
+                  independence.geographic_distribution):
+        assert value > 0.3

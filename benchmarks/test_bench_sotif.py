@@ -1,0 +1,78 @@
+"""E-S3C — SOTIF adapted to forest machinery (Section III-C).
+
+Paper artefact: "AGRARSENSE explores how to adapt SOTIF principles to
+forest machinery and enhance safety beyond traditional functional safety"
+on the Figure 2 use case.  Reproduction: the evidence-collection campaign
+runs approach episodes under every catalogued triggering condition for both
+designs (ground-only vs collaborative) and reports per-condition failure
+rates, scenario-area movement and the residual-risk indicator.  Shape
+expectation: evidence moves all conditions out of "unknown"; the
+ground-only design fails under the weather conditions (rain, fog) that
+degrade its single optical viewpoint; the collaborative design's residual
+risk is markedly lower.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import Table
+from repro.safety.sotif import ScenarioArea, SotifAnalysis
+from repro.scenarios.sotif_campaign import CONDITION_SETUPS, run_sotif_campaign
+
+EXPOSURES = 8
+
+
+def _run_campaigns():
+    with_drone = run_sotif_campaign(
+        drone_enabled=True, exposures_per_condition=EXPOSURES, base_seed=500,
+    )
+    without = run_sotif_campaign(
+        drone_enabled=False, exposures_per_condition=EXPOSURES, base_seed=900,
+    )
+    return with_drone, without
+
+
+def test_sotif_campaign(benchmark):
+    with_drone, without = run_once(benchmark, _run_campaigns)
+
+    table = Table(
+        ["triggering condition", "class",
+         f"ground-only failures (of {EXPOSURES})",
+         f"collaborative failures (of {EXPOSURES})"],
+        title="E-S3C  SOTIF triggering-condition evidence (ISO 21448)",
+    )
+    for condition in with_drone.analysis.conditions:
+        cid = condition.condition_id
+        table.add_row(
+            f"{cid}: {condition.description}",
+            condition.scenario_class,
+            without.failures_by_condition.get(cid, 0),
+            with_drone.failures_by_condition.get(cid, 0),
+        )
+    table.print()
+
+    areas_with = with_drone.analysis.area_counts()
+    areas_without = without.analysis.area_counts()
+    print(f"scenario areas, collaborative: "
+          f"{ {k.value: v for k, v in areas_with.items() if v} }")
+    print(f"scenario areas, ground-only:   "
+          f"{ {k.value: v for k, v in areas_without.items() if v} }")
+    r_with = with_drone.analysis.residual_risk_indicator()
+    r_without = without.analysis.residual_risk_indicator()
+    print(f"residual-risk indicator: collaborative {r_with:.3f}, "
+          f"ground-only {r_without:.3f} "
+          f"({with_drone.analysis.improvement_over(without.analysis):.0%} lower)")
+
+    # shape: evidence collected for every condition (nothing stays unknown)
+    assert areas_with[ScenarioArea.UNKNOWN_UNSAFE] == 0
+    assert areas_without[ScenarioArea.UNKNOWN_UNSAFE] == 0
+    # the collaborative design strictly dominates
+    total_with = sum(with_drone.failures_by_condition.values())
+    total_without = sum(without.failures_by_condition.values())
+    assert total_with < total_without
+    assert r_with < r_without
+    # ground-only fails specifically under weather degradation
+    weather_failures = sum(
+        without.failures_by_condition.get(c.condition_id, 0)
+        for c in with_drone.analysis.conditions if c.scenario_class == "weather"
+    )
+    assert weather_failures > 0

@@ -1,0 +1,79 @@
+"""E-T1 — Table I: forestry characteristics reshape the cyber risk picture.
+
+Paper artefact: Table I lists eight qualitative characteristics "to be
+considered when performing cybersecurity analysis".  Reproduction: run the
+worksite TARA once context-free, then once per characteristic, and report
+how each characteristic moves the risk profile — the quantitative form of
+the table's qualitative claim.  Shape expectation: every row changes some
+risk values; impact-side characteristics (heavy machinery, autonomy) push
+the high-risk mass up; feasibility-side ones (remote monitoring, threat
+profile) move specific threat families.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import Table
+from repro.core.characteristics import characteristic_catalog, combined_modifiers
+from repro.risk.tara import Tara
+from repro.scenarios.worksite import worksite_item_model
+
+
+def _assess_with(characteristics):
+    item = worksite_item_model()
+    modifiers = combined_modifiers(characteristics)
+    return Tara(
+        item,
+        feasibility_modifier=modifiers.feasibility,
+        impact_modifier=modifiers.impact,
+    ).assess()
+
+
+def _table1_rows():
+    baseline = _assess_with([])
+    base_risks = {a.threat_id: a.risk_value for a in baseline.assessments}
+    rows = []
+    for characteristic in characteristic_catalog():
+        result = _assess_with([characteristic])
+        changed = sum(
+            1 for a in result.assessments
+            if a.risk_value != base_risks[a.threat_id]
+        )
+        delta_mean = result.mean_risk() - baseline.mean_risk()
+        high = len(result.above(3))
+        rows.append((
+            characteristic.title, changed, round(delta_mean, 2), high,
+            result.max_risk(),
+        ))
+    combined = _assess_with(characteristic_catalog())
+    rows.append((
+        "ALL (forestry context)",
+        sum(1 for a in combined.assessments
+            if a.risk_value != base_risks[a.threat_id]),
+        round(combined.mean_risk() - baseline.mean_risk(), 2),
+        len(combined.above(3)),
+        combined.max_risk(),
+    ))
+    return baseline, rows
+
+
+def test_table1_characteristics(benchmark):
+    baseline, rows = run_once(benchmark, _table1_rows)
+
+    table = Table(
+        ["Characteristic (Table I)", "threats moved", "Δ mean risk",
+         "risks > 3", "max risk"],
+        title=(
+            "E-T1  Table I characteristics as risk-assessment modifiers "
+            f"(baseline: mean {baseline.mean_risk():.2f}, "
+            f"{len(baseline.above(3))} risks > 3)"
+        ),
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+
+    # every characteristic must move the assessment (the paper's claim)
+    for row in rows:
+        assert row[1] > 0, f"{row[0]} moved no threats"
+    # the combined forestry context is strictly riskier than context-free
+    assert rows[-1][2] > 0.0

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""The combined safety-cybersecurity methodology, end to end.
+
+Walks the paper's envisioned workflow over the worksite item:
+
+1. item definition and STRIDE threat enumeration;
+2. knowledge transfer from mining/automotive (Figure 3);
+3. TARA under the forestry characteristics (Table I);
+4. safety track (ISO 13849 PL evaluation) and the interplay sync point;
+5. IEC 62443 zone gap analysis and risk treatment;
+6. the security assurance case, exported to Markdown and Graphviz DOT.
+
+Usage::
+
+    python examples/risk_assessment_workflow.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.assurance.compliance import ComplianceMapping
+from repro.assurance.evidence import Evidence, EvidenceRegistry
+from repro.assurance.export import render_gsn_dot, render_markdown
+from repro.assurance.sac import SacBuilder
+from repro.core.characteristics import characteristic_catalog
+from repro.core.knowledge_transfer import KnowledgeTransfer
+from repro.core.methodology import CombinedAssessment
+from repro.safety.hazards import HazardCatalog
+from repro.safety.iso13849 import Category, SafetyFunctionDesign
+from repro.scenarios.worksite import worksite_item_model
+from repro.sos.zones import worksite_zone_model
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("out")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    print("1) Item definition")
+    item = worksite_item_model()
+    print(f"   systems: {item.systems}")
+    print(f"   assets: {len(item.assets)}, damage scenarios: "
+          f"{len(item.damage_scenarios)}, threat scenarios (STRIDE): "
+          f"{len(item.threat_scenarios)}")
+
+    print("\n2) Knowledge transfer (Figure 3)")
+    transfer = KnowledgeTransfer().transfer(item)
+    for domain, types in transfer.coverage_by_domain().items():
+        print(f"   {domain}: covers {types:.0%} of the forestry threat space")
+    print(f"   combined coverage: {transfer.coverage():.0%}")
+
+    print("\n3+4+5) Combined assessment (TARA + ISO 13849 + interplay + zones)")
+    designs = {
+        "people_detection_stop": SafetyFunctionDesign(
+            "people_detection_stop", Category.CAT3, 40.0, 0.95),
+        "geofence": SafetyFunctionDesign("geofence", Category.CAT2, 25.0, 0.85),
+        "protective_stop": SafetyFunctionDesign(
+            "protective_stop", Category.CAT3, 60.0, 0.95),
+        "speed_limiter": SafetyFunctionDesign(
+            "speed_limiter", Category.CAT2, 30.0, 0.7),
+    }
+    result = CombinedAssessment(
+        item, HazardCatalog(), designs, worksite_zone_model(),
+        characteristics=characteristic_catalog(),
+    ).run()
+    print(f"   risk profile: {result.tara.risk_profile()} (1=low .. 5=critical)")
+    print(f"   safety track: achieved PLs {result.safety.achieved}, "
+          f"standalone shortfalls {result.safety.shortfalls}")
+    print(f"   interplay: {len(result.interplay_findings)} findings, "
+          f"{len(result.interplay_gaps)} assurance gaps on hazards "
+          f"{sorted({f.hazard_id for f in result.interplay_gaps})}")
+    print(f"   zone analysis: total SL gap {result.zone_total_gap}")
+    decisions = {}
+    for treatment in result.treatment.treatments:
+        decisions[treatment.decision.value] = (
+            decisions.get(treatment.decision.value, 0) + 1
+        )
+    print(f"   treatment decisions: {decisions}, "
+          f"measures deployed: {result.treatment.measures_deployed()}")
+
+    print("\n6) Security assurance case")
+    registry = EvidenceRegistry()
+    registry.add(Evidence("ev-tara", "analysis", "worksite TARA", "this run"))
+    registry.add(Evidence("ev-interplay", "analysis", "interplay analysis",
+                          "this run"))
+    compliance = ComplianceMapping()
+    compliance.record_work_product("tara", "ev-tara")
+    compliance.record_work_product("treatment", "ev-tara")
+    compliance.record_work_product("interplay", "ev-interplay")
+    compliance.record_work_product("zone_assessment", "ev-tara")
+    compliance.record_work_product("pl_evaluation", "ev-tara")
+    builder = SacBuilder(item, registry, compliance)
+    graph = builder.build(
+        result,
+        evidence_by_threat={
+            a.threat_id: ["ev-tara"] for a in result.tara.assessments
+        },
+        interplay_evidence="ev-interplay",
+    )
+    report = builder.report(graph)
+    print(f"   GSN case: {report.elements} elements, {report.goals} goals, "
+          f"{report.solutions} solutions")
+    print(f"   goal coverage {report.goal_coverage:.0%}, evidence coverage "
+          f"{report.evidence_coverage:.0%}, compliance coverage "
+          f"{report.compliance_coverage:.0%}")
+
+    md_path = out_dir / "worksite_sac.md"
+    dot_path = out_dir / "worksite_sac.dot"
+    md_path.write_text(render_markdown(graph))
+    dot_path.write_text(render_gsn_dot(graph))
+    print(f"   exported: {md_path} and {dot_path} "
+          f"(render with `dot -Tsvg {dot_path}`)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Experiment report generation.
+
+Collects named experiment results (tables plus shape-check verdicts) and
+renders a Markdown report in the EXPERIMENTS.md format — experiment id,
+paper anchor, the regenerated rows, and the claim-vs-measured verdict.
+Used by the harness to keep the documentation mechanically in sync with
+what the code actually measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import Table
+
+
+@dataclass
+class ShapeCheck:
+    """One expected-shape statement and whether the run satisfied it."""
+
+    statement: str
+    held: bool
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's reproduced artefact."""
+
+    experiment_id: str
+    paper_anchor: str
+    claim: str
+    tables: List[Table] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    checks: List[ShapeCheck] = field(default_factory=list)
+
+    @property
+    def verdict(self) -> str:
+        if not self.checks:
+            return "NOT EVALUATED"
+        return "REPRODUCED" if all(c.held for c in self.checks) else "DIVERGED"
+
+    def check(self, statement: str, held: bool) -> "ExperimentRecord":
+        """Record one shape check; returns self for chaining."""
+        self.checks.append(ShapeCheck(statement=statement, held=bool(held)))
+        return self
+
+    def note(self, text: str) -> "ExperimentRecord":
+        self.notes.append(text)
+        return self
+
+    def to_markdown(self) -> str:
+        lines = [
+            f"### {self.experiment_id} — {self.paper_anchor}",
+            "",
+            f"**Claim.** {self.claim}",
+            "",
+        ]
+        for table in self.tables:
+            lines.append("```")
+            lines.append(table.render())
+            lines.append("```")
+            lines.append("")
+        if self.notes:
+            for note in self.notes:
+                lines.append(f"- {note}")
+            lines.append("")
+        lines.append("**Shape checks.**")
+        lines.append("")
+        for check in self.checks:
+            mark = "x" if check.held else " "
+            lines.append(f"- [{mark}] {check.statement}")
+        lines.append("")
+        lines.append(f"**Verdict: {self.verdict}**")
+        lines.append("")
+        return "\n".join(lines)
+
+
+class ExperimentReport:
+    """The full experiment report: ordered records, one per artefact."""
+
+    def __init__(self, title: str, preamble: str = "") -> None:
+        self.title = title
+        self.preamble = preamble
+        self._records: Dict[str, ExperimentRecord] = {}
+
+    def record(
+        self, experiment_id: str, paper_anchor: str, claim: str
+    ) -> ExperimentRecord:
+        """Create (or fetch) the record for ``experiment_id``."""
+        existing = self._records.get(experiment_id)
+        if existing is not None:
+            return existing
+        record = ExperimentRecord(
+            experiment_id=experiment_id, paper_anchor=paper_anchor, claim=claim
+        )
+        self._records[experiment_id] = record
+        return record
+
+    @property
+    def records(self) -> List[ExperimentRecord]:
+        return list(self._records.values())
+
+    def summary_table(self) -> Table:
+        table = Table(["experiment", "paper anchor", "verdict"],
+                      title="Reproduction summary")
+        for record in self.records:
+            table.add_row(record.experiment_id, record.paper_anchor,
+                          record.verdict)
+        return table
+
+    def to_markdown(self) -> str:
+        lines = [f"# {self.title}", ""]
+        if self.preamble:
+            lines.append(self.preamble)
+            lines.append("")
+        lines.append("```")
+        lines.append(self.summary_table().render())
+        lines.append("```")
+        lines.append("")
+        for record in self.records:
+            lines.append(record.to_markdown())
+        return "\n".join(lines)
+
+    def write(self, path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_markdown())
+        return path

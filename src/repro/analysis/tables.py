@@ -1,0 +1,61 @@
+"""Fixed-width table rendering for benchmark output.
+
+Each benchmark prints paper-style rows through a :class:`Table`, so
+EXPERIMENTS.md can quote the harness output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+class Table:
+    """A simple fixed-width text table."""
+
+    def __init__(self, columns: Sequence[str], *, title: Optional[str] = None) -> None:
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([self._fmt(c) for c in cells])
+
+    @staticmethod
+    def _fmt(cell: Any) -> str:
+        if cell is None:
+            return "-"
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            if abs(cell) >= 10:
+                return f"{cell:.1f}"
+            return f"{cell:.3f}".rstrip("0").rstrip(".") or "0"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(header))
+        lines.append(header)
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # noqa: A003 - mirrors the common API
+        print()
+        print(self.render())
+        print()

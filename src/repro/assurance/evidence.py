@@ -1,0 +1,107 @@
+"""The evidence registry.
+
+Evidence items back the Solutions of the assurance case.  Each item carries
+provenance (which experiment/analysis produced it), a timestamp and a
+validity horizon — assurance cases decay as the system and threat picture
+evolve, which is the "continuous incremental assurance" concern the paper
+cites (Assurance 2.0).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class EvidenceStatus(enum.Enum):
+    """Lifecycle state of an evidence item."""
+
+    CURRENT = "current"
+    STALE = "stale"
+    REVOKED = "revoked"
+
+
+@dataclass
+class Evidence:
+    """One evidence item.
+
+    Attributes
+    ----------
+    key:
+        Registry key cited by Solutions.
+    kind:
+        Evidence class (``"test_result"``, ``"analysis"``, ``"simulation"``,
+        ``"review"``, ``"certificate"``).
+    description:
+        What the evidence shows.
+    source:
+        Producing activity (experiment id, tool, review board).
+    produced_at:
+        Timestamp (simulation or wall-clock, caller's choice of epoch).
+    valid_for_s:
+        Validity horizon; None = does not expire.
+    data:
+        The measured payload backing the claim.
+    """
+
+    key: str
+    kind: str
+    description: str
+    source: str
+    produced_at: float = 0.0
+    valid_for_s: Optional[float] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+    revoked: bool = False
+
+    def status(self, now: float) -> EvidenceStatus:
+        if self.revoked:
+            return EvidenceStatus.REVOKED
+        if self.valid_for_s is not None and now > self.produced_at + self.valid_for_s:
+            return EvidenceStatus.STALE
+        return EvidenceStatus.CURRENT
+
+
+class EvidenceRegistry:
+    """Keyed store of evidence items with coverage queries."""
+
+    def __init__(self) -> None:
+        self._items: Dict[str, Evidence] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    def add(self, item: Evidence) -> Evidence:
+        if item.key in self._items:
+            raise KeyError(f"duplicate evidence key {item.key!r}")
+        self._items[item.key] = item
+        return item
+
+    def get(self, key: str) -> Evidence:
+        return self._items[key]
+
+    def revoke(self, key: str) -> None:
+        self._items[key].revoked = True
+
+    def items(self) -> List[Evidence]:
+        return list(self._items.values())
+
+    def current(self, now: float) -> List[Evidence]:
+        return [e for e in self._items.values() if e.status(now) is EvidenceStatus.CURRENT]
+
+    def coverage_of(self, keys: List[str], now: float) -> float:
+        """Share of cited keys that exist and are current."""
+        if not keys:
+            return 1.0
+        good = sum(
+            1 for key in keys
+            if key in self._items
+            and self._items[key].status(now) is EvidenceStatus.CURRENT
+        )
+        return good / len(keys)
+
+    def missing(self, keys: List[str]) -> List[str]:
+        return [key for key in keys if key not in self._items]

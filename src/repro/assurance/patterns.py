@@ -1,0 +1,157 @@
+"""Reusable GSN argument patterns for the worksite SAC.
+
+Patterns are parameterised argument fragments, instantiated per asset /
+threat / requirement by the SAC builder.  The three patterns here mirror the
+CASCADE approach's asset-driven decomposition the paper wants transferred to
+forestry: argue over assets, over each asset's treated threats, and over
+compliance with the governing requirements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.assurance.gsn import GsnElement, GsnGraph, GsnKind
+
+
+def asset_security_pattern(
+    graph: GsnGraph,
+    parent_goal: str,
+    asset_id: str,
+    asset_name: str,
+    threat_ids: List[str],
+) -> List[str]:
+    """Instantiate the per-asset pattern under ``parent_goal``.
+
+    Creates: goal "asset X is protected" → strategy "argue over identified
+    threats" → one sub-goal per threat.  Returns the threat-goal ids so the
+    builder can attach treatment goals and solutions.
+    """
+    asset_goal = f"G-{asset_id}"
+    graph.add(GsnElement(
+        asset_goal, GsnKind.GOAL,
+        f"Asset '{asset_name}' is acceptably protected against cyber threats",
+    ))
+    graph.supported_by(parent_goal, asset_goal)
+    strategy = f"S-{asset_id}"
+    graph.add(GsnElement(
+        strategy, GsnKind.STRATEGY,
+        f"Argument over each identified threat scenario against {asset_name}",
+    ))
+    graph.supported_by(asset_goal, strategy)
+    threat_goals = []
+    for threat_id in threat_ids:
+        goal_id = f"G-{asset_id}-{threat_id}"
+        graph.add(GsnElement(
+            goal_id, GsnKind.GOAL,
+            f"Threat {threat_id} against {asset_name} is treated to acceptable risk",
+        ))
+        graph.supported_by(strategy, goal_id)
+        threat_goals.append(goal_id)
+    return threat_goals
+
+
+def treatment_pattern(
+    graph: GsnGraph,
+    threat_goal: str,
+    threat_id: str,
+    decision: str,
+    measures: List[str],
+    evidence_keys: List[str],
+) -> None:
+    """Attach the treatment argument and its evidence under a threat goal."""
+    strategy = f"S-{threat_goal}-trt"
+    graph.add(GsnElement(
+        strategy, GsnKind.STRATEGY,
+        f"Argument by risk treatment ({decision}) with measures: "
+        f"{', '.join(measures) if measures else 'none required'}",
+    ))
+    graph.supported_by(threat_goal, strategy)
+    goal_id = f"{threat_goal}-resid"
+    graph.add(GsnElement(
+        goal_id, GsnKind.GOAL,
+        f"Residual risk of {threat_id} after treatment is within the acceptance criteria",
+    ))
+    graph.supported_by(strategy, goal_id)
+    if not evidence_keys:
+        graph.elements[goal_id].undeveloped = True
+        return
+    for i, key in enumerate(evidence_keys):
+        solution = f"Sn-{threat_goal}-{i}"
+        graph.add(GsnElement(
+            solution, GsnKind.SOLUTION,
+            f"Evidence {key} demonstrates the treated risk level",
+            evidence_ref=key,
+        ))
+        graph.supported_by(goal_id, solution)
+
+
+def interplay_pattern(
+    graph: GsnGraph,
+    parent_goal: str,
+    hazard_ids: List[str],
+    evidence_key: Optional[str],
+) -> None:
+    """The safety-security interplay claim: no feasible attack breaks safety."""
+    goal_id = "G-interplay"
+    graph.add(GsnElement(
+        goal_id, GsnKind.GOAL,
+        "No feasible cyber attack reduces any safety function below its "
+        "required Performance Level",
+    ))
+    graph.supported_by(parent_goal, goal_id)
+    strategy = "S-interplay"
+    graph.add(GsnElement(
+        strategy, GsnKind.STRATEGY,
+        f"Argument over the cyber-coupled hazards: {', '.join(hazard_ids)}",
+    ))
+    graph.supported_by(goal_id, strategy)
+    sub = "G-interplay-analysis"
+    graph.add(GsnElement(
+        sub, GsnKind.GOAL,
+        "The combined interplay analysis shows no unresolved assurance gap",
+    ))
+    graph.supported_by(strategy, sub)
+    if evidence_key is None:
+        graph.elements[sub].undeveloped = True
+    else:
+        graph.add(GsnElement(
+            "Sn-interplay", GsnKind.SOLUTION,
+            "Interplay analysis results over the TARA and hazard catalog",
+            evidence_ref=evidence_key,
+        ))
+        graph.supported_by(sub, "Sn-interplay")
+
+
+def compliance_pattern(
+    graph: GsnGraph,
+    parent_goal: str,
+    requirement_ids: List[str],
+    evidence_by_requirement,
+) -> None:
+    """Per-requirement compliance claims under a compliance strategy."""
+    strategy = "S-compliance"
+    graph.add(GsnElement(
+        strategy, GsnKind.STRATEGY,
+        "Argument over the applicable regulatory and standard requirements",
+    ))
+    graph.supported_by(parent_goal, strategy)
+    for requirement_id in requirement_ids:
+        goal_id = f"G-req-{requirement_id}"
+        graph.add(GsnElement(
+            goal_id, GsnKind.GOAL,
+            f"Requirement {requirement_id} is satisfied",
+        ))
+        graph.supported_by(strategy, goal_id)
+        keys = evidence_by_requirement.get(requirement_id, [])
+        if not keys:
+            graph.elements[goal_id].undeveloped = True
+            continue
+        for i, key in enumerate(keys):
+            solution = f"Sn-req-{requirement_id}-{i}"
+            graph.add(GsnElement(
+                solution, GsnKind.SOLUTION,
+                f"Evidence {key} for requirement {requirement_id}",
+                evidence_ref=key,
+            ))
+            graph.supported_by(goal_id, solution)

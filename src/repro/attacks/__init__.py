@@ -1,0 +1,45 @@
+"""Attack substrate: every attack class the paper's survey enumerates.
+
+Section IV-C (via Gaber et al. for mining AHS and Ren et al. / Petit et al.
+for automotive) names: frequency interference, channel-utilisation pressure,
+signal jamming, Wi-Fi de-auth, GNSS spoofing/jamming, and camera attacks
+(feed theft, remote control, blinding).  Network-level message attacks
+(injection, replay, tampering) complete the picture for the secure-channel
+evaluation.
+
+Each attack is a scheduled behaviour owned by an :class:`Attacker` and
+produces ``ATTACK`` events in the shared log, so detection latency can be
+measured as *alert time − attack-start time*.
+"""
+
+from repro.attacks.base import Attack, Attacker
+from repro.attacks.jamming import JammingAttack
+from repro.attacks.interference import InterferenceSource
+from repro.attacks.deauth import DeauthAttack
+from repro.attacks.gnss_attacks import GnssJammingAttack, GnssSpoofingAttack
+from repro.attacks.camera_attacks import CameraBlindingAttack, CameraHijackAttack
+from repro.attacks.network_attacks import (
+    MessageInjectionAttack,
+    ReplayAttack,
+    TamperingAttack,
+)
+from repro.attacks.eavesdropping import EavesdroppingAttack
+from repro.attacks.scenarios import AttackCampaign, CampaignStep
+
+__all__ = [
+    "Attack",
+    "Attacker",
+    "JammingAttack",
+    "InterferenceSource",
+    "DeauthAttack",
+    "GnssJammingAttack",
+    "GnssSpoofingAttack",
+    "CameraBlindingAttack",
+    "CameraHijackAttack",
+    "MessageInjectionAttack",
+    "ReplayAttack",
+    "TamperingAttack",
+    "EavesdroppingAttack",
+    "AttackCampaign",
+    "CampaignStep",
+]

@@ -1,0 +1,247 @@
+"""Command-line interface: ``repro-worksite``.
+
+Subcommands
+-----------
+``run``
+    Run the Figure 1 worksite for a given horizon and print the summary.
+``attack``
+    Run the worksite under a named attack campaign and print the outcome,
+    including IDS scoring.
+``assess``
+    Run the combined safety-cybersecurity assessment and print the risk
+    profile, interplay findings and zone gaps.
+``sac``
+    Build the security assurance case and write Markdown/DOT exports.
+``campaigns``
+    List the available attack campaigns.
+
+Examples::
+
+    repro-worksite run --seed 7 --minutes 30
+    repro-worksite attack gnss_spoofing --undefended
+    repro-worksite assess --characteristics
+    repro-worksite sac --out out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.comms.crypto.secure_channel import SecurityProfile
+
+
+def _scenario_config(args) -> "ScenarioConfig":
+    from repro.scenarios.worksite import ScenarioConfig
+
+    if getattr(args, "undefended", False):
+        return ScenarioConfig(
+            seed=args.seed,
+            profile=SecurityProfile.PLAINTEXT,
+            protected_management=False,
+            defenses_enabled=False,
+            access_control_enabled=False,
+            drone_enabled=not getattr(args, "no_drone", False),
+        )
+    return ScenarioConfig(
+        seed=args.seed,
+        drone_enabled=not getattr(args, "no_drone", False),
+    )
+
+
+def _print_summary(scenario) -> None:
+    summary = scenario.summary()
+    safety = summary["safety"]
+    print(f"time:             {summary['time_s']:.0f} s")
+    print(f"delivered:        {summary['delivered_m3']:.0f} m3 "
+          f"({summary['cycles']} cycles)")
+    print(f"delivery ratio:   {summary['delivery_ratio']:.1%}")
+    print(f"safe stops:       {summary['safe_stops']}")
+    print(f"violations:       {safety['violations']} "
+          f"(near misses {safety['near_misses']})")
+    print(f"IDS alerts:       {summary['alerts']}")
+
+
+def cmd_run(args) -> int:
+    from repro.scenarios.worksite import build_worksite
+
+    scenario = build_worksite(_scenario_config(args))
+    horizon = args.minutes * 60.0
+    print(f"running worksite seed={args.seed} for {args.minutes} min ...")
+    scenario.run(horizon)
+    _print_summary(scenario)
+    return 0
+
+
+def cmd_attack(args) -> int:
+    from repro.scenarios.campaigns import CAMPAIGN_BUILDERS, build_campaign
+    from repro.scenarios.worksite import build_worksite
+
+    if args.campaign not in CAMPAIGN_BUILDERS:
+        print(f"unknown campaign {args.campaign!r}; "
+              f"available: {', '.join(sorted(CAMPAIGN_BUILDERS))}",
+              file=sys.stderr)
+        return 2
+    scenario = build_worksite(_scenario_config(args))
+    horizon = args.minutes * 60.0
+    campaign = build_campaign(
+        args.campaign, scenario, start=args.start,
+        **({"duration": args.duration} if args.duration else {}),
+    )
+    campaign.arm()
+    print(f"running {args.campaign!r} against "
+          f"{'undefended' if args.undefended else 'defended'} worksite ...")
+    scenario.run(horizon)
+    _print_summary(scenario)
+    if scenario.ids_manager is not None:
+        score = scenario.ids_manager.score(
+            campaign.ground_truth_windows(), horizon_s=horizon
+        )
+        latency = (f"{score.mean_latency_s:.1f} s"
+                   if score.mean_latency_s is not None else "-")
+        print(f"detection:        {score.attacks_detected}/{score.attacks_total} "
+              f"(latency {latency}, {score.false_alarms} false alarms)")
+    return 0
+
+
+def cmd_assess(args) -> int:
+    from repro.core.characteristics import characteristic_catalog
+    from repro.core.methodology import CombinedAssessment
+    from repro.safety.hazards import HazardCatalog
+    from repro.safety.iso13849 import Category, SafetyFunctionDesign
+    from repro.scenarios.worksite import worksite_item_model
+    from repro.sos.zones import worksite_zone_model
+
+    designs = {
+        "people_detection_stop": SafetyFunctionDesign(
+            "people_detection_stop", Category.CAT3, 40.0, 0.95),
+        "geofence": SafetyFunctionDesign("geofence", Category.CAT2, 25.0, 0.85),
+        "protective_stop": SafetyFunctionDesign(
+            "protective_stop", Category.CAT3, 60.0, 0.95),
+        "speed_limiter": SafetyFunctionDesign(
+            "speed_limiter", Category.CAT2, 30.0, 0.7),
+    }
+    characteristics = characteristic_catalog() if args.characteristics else []
+    result = CombinedAssessment(
+        worksite_item_model(), HazardCatalog(), designs, worksite_zone_model(),
+        characteristics=characteristics,
+        deployed_measures=args.measures or [],
+    ).run()
+    print(f"risk profile (1..5): {result.tara.risk_profile()}")
+    print(f"mean risk:           {result.tara.mean_risk():.2f}")
+    print(f"safety shortfalls:   {result.safety.shortfalls or 'none'}")
+    print(f"interplay findings:  {len(result.interplay_findings)} "
+          f"({len(result.interplay_gaps)} assurance gaps)")
+    print(f"missed separately:   {len(result.separate_verdict_misses())}")
+    print(f"zone SL gap:         {result.zone_total_gap}")
+    deployed = result.treatment.measures_deployed()
+    print(f"treatment deploys:   {', '.join(deployed) if deployed else 'nothing'}")
+    return 0
+
+
+def cmd_sac(args) -> int:
+    from repro.assurance.compliance import ComplianceMapping
+    from repro.assurance.evidence import Evidence, EvidenceRegistry
+    from repro.assurance.export import render_gsn_dot, render_markdown
+    from repro.assurance.sac import SacBuilder
+    from repro.core.methodology import CombinedAssessment
+    from repro.safety.hazards import HazardCatalog
+    from repro.safety.iso13849 import Category, SafetyFunctionDesign
+    from repro.scenarios.worksite import worksite_item_model
+    from repro.sos.zones import worksite_zone_model
+
+    designs = {
+        "people_detection_stop": SafetyFunctionDesign(
+            "people_detection_stop", Category.CAT3, 40.0, 0.95),
+        "geofence": SafetyFunctionDesign("geofence", Category.CAT2, 25.0, 0.85),
+        "protective_stop": SafetyFunctionDesign(
+            "protective_stop", Category.CAT3, 60.0, 0.95),
+        "speed_limiter": SafetyFunctionDesign(
+            "speed_limiter", Category.CAT2, 30.0, 0.7),
+    }
+    item = worksite_item_model()
+    result = CombinedAssessment(
+        item, HazardCatalog(), designs, worksite_zone_model(),
+    ).run()
+    registry = EvidenceRegistry()
+    registry.add(Evidence("ev-tara", "analysis", "worksite TARA", "cli"))
+    compliance = ComplianceMapping()
+    compliance.record_work_product("tara", "ev-tara")
+    builder = SacBuilder(item, registry, compliance)
+    graph = builder.build(
+        result,
+        evidence_by_threat={a.threat_id: ["ev-tara"]
+                            for a in result.tara.assessments},
+        interplay_evidence="ev-tara",
+    )
+    report = builder.report(graph)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "worksite_sac.md").write_text(render_markdown(graph))
+    (out / "worksite_sac.dot").write_text(render_gsn_dot(graph))
+    print(f"SAC: {report.elements} elements, goal coverage "
+          f"{report.goal_coverage:.0%}, evidence coverage "
+          f"{report.evidence_coverage:.0%}")
+    print(f"wrote {out / 'worksite_sac.md'} and {out / 'worksite_sac.dot'}")
+    return 0
+
+
+def cmd_campaigns(args) -> int:
+    from repro.scenarios.campaigns import CAMPAIGN_BUILDERS
+
+    for name in sorted(CAMPAIGN_BUILDERS):
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-worksite",
+        description="AGRARSENSE worksite reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--minutes", type=float, default=15.0)
+        p.add_argument("--undefended", action="store_true",
+                       help="plaintext links, no IDS, no access control")
+        p.add_argument("--no-drone", action="store_true")
+
+    run_p = sub.add_parser("run", help="run the nominal worksite")
+    common(run_p)
+    run_p.set_defaults(func=cmd_run)
+
+    attack_p = sub.add_parser("attack", help="run an attack campaign")
+    attack_p.add_argument("campaign")
+    attack_p.add_argument("--start", type=float, default=120.0)
+    attack_p.add_argument("--duration", type=float, default=None)
+    common(attack_p)
+    attack_p.set_defaults(func=cmd_attack)
+
+    assess_p = sub.add_parser("assess", help="run the combined assessment")
+    assess_p.add_argument("--characteristics", action="store_true",
+                          help="apply the Table I forestry characteristics")
+    assess_p.add_argument("--measures", nargs="*", default=None,
+                          help="deployed countermeasure names")
+    assess_p.set_defaults(func=cmd_assess)
+
+    sac_p = sub.add_parser("sac", help="build and export the assurance case")
+    sac_p.add_argument("--out", default="out")
+    sac_p.set_defaults(func=cmd_sac)
+
+    campaigns_p = sub.add_parser("campaigns", help="list attack campaigns")
+    campaigns_p.set_defaults(func=cmd_campaigns)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

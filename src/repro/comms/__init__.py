@@ -1,0 +1,47 @@
+"""Wireless communication substrate.
+
+The paper (via Gaber et al.) identifies communication as the main
+cybersecurity issue for autonomous haulage-like systems: frequency
+interference, channel utilisation, signal jamming, de-auth attacks.  This
+subpackage provides the full stack those attacks act on:
+
+* :mod:`repro.comms.radio` — SNR-based physical layer (path loss, noise,
+  jamming and co-channel interference contributions);
+* :mod:`repro.comms.medium` — the shared medium: delivery probability,
+  channel utilisation accounting;
+* :mod:`repro.comms.link` — frames, association state (de-auth target),
+  ACK/retransmission;
+* :mod:`repro.comms.network` — nodes, addressing, handler dispatch;
+* :mod:`repro.comms.messages` — typed application messages;
+* :mod:`repro.comms.protocols` — heartbeats, telemetry, command channel;
+* :mod:`repro.comms.crypto` — from-scratch DH/Schnorr/HKDF/HMAC/AEAD, a
+  Certificate Authority and a TLS-like secure channel.
+"""
+
+from repro.comms.radio import RadioConfig, link_budget
+from repro.comms.medium import WirelessMedium
+from repro.comms.network import CommNode, Network
+from repro.comms.messages import (
+    Message,
+    Telemetry,
+    Command,
+    Heartbeat,
+    DetectionReport,
+    VideoFrame,
+    Alert,
+)
+
+__all__ = [
+    "RadioConfig",
+    "link_budget",
+    "WirelessMedium",
+    "CommNode",
+    "Network",
+    "Message",
+    "Telemetry",
+    "Command",
+    "Heartbeat",
+    "DetectionReport",
+    "VideoFrame",
+    "Alert",
+]

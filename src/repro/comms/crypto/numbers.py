@@ -1,0 +1,128 @@
+"""Modular arithmetic and Diffie-Hellman groups.
+
+Finite-field Diffie-Hellman over safe-prime MODP groups.  Two groups are
+provided:
+
+* :data:`MODP_2048` — the RFC 3526 group 14 prime, for realistic key sizes;
+* :data:`TEST_GROUP` — a small (512-bit) safe-prime group that keeps unit
+  tests and high-iteration property tests fast.  Never a security claim.
+
+For a safe prime ``p = 2q + 1`` the subgroup of quadratic residues has prime
+order ``q``; generators here generate that subgroup, so Schnorr signatures
+(:mod:`repro.comms.crypto.keys`) work directly with exponent arithmetic
+mod ``q``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DhGroup:
+    """A safe-prime group ``p = 2q + 1`` with generator ``g`` of order ``q``."""
+
+    name: str
+    p: int
+    g: int
+
+    @property
+    def q(self) -> int:
+        """Order of the prime-order subgroup."""
+        return (self.p - 1) // 2
+
+    @property
+    def element_bytes(self) -> int:
+        return (self.p.bit_length() + 7) // 8
+
+    def pow(self, base: int, exponent: int) -> int:
+        return pow(base, exponent, self.p)
+
+    def is_element(self, value: int) -> bool:
+        """Membership check for the prime-order subgroup (QR test)."""
+        if not 1 <= value < self.p:
+            return False
+        return pow(value, self.q, self.p) == 1
+
+    def encode(self, value: int) -> bytes:
+        return value.to_bytes(self.element_bytes, "big")
+
+    def decode(self, raw: bytes) -> int:
+        return int.from_bytes(raw, "big")
+
+    def hash_to_exponent(self, data: bytes) -> int:
+        """Hash arbitrary bytes to an exponent mod q (for Schnorr's ``e``)."""
+        counter = 0
+        acc = b""
+        need = (self.q.bit_length() + 7) // 8 + 8
+        while len(acc) < need:
+            acc += hashlib.sha256(data + counter.to_bytes(4, "big")).digest()
+            counter += 1
+        return int.from_bytes(acc[:need], "big") % self.q
+
+
+# RFC 3526, group 14 (2048-bit MODP).  g=2 generates the full group of order
+# 2q; squaring it gives a generator of the prime-order subgroup.
+_P_2048 = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+
+MODP_2048 = DhGroup(name="modp-2048", p=_P_2048, g=4)  # 4 = 2^2, order q
+
+# A 512-bit safe prime for fast tests: p = 2q+1, generator 4 (= 2^2).
+_P_TEST = int(
+    "f58a12307acb73e0b41bca6f923ba91a31e8d3f38a9fbabdbb0f1e3afe5bc0e3"
+    "ab63da8a0a1e21b4afd41b4e4bb9fdcd2ba581ca39bfbd299f8eb02d65a7feaf",
+    16,
+)
+
+
+def _is_probable_prime(n: int, rounds: int = 16) -> bool:
+    """Deterministic-enough Miller-Rabin for module self-check."""
+    if n < 2:
+        return False
+    small_primes = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+    for p in small_primes:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in small_primes[:rounds]:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _find_test_group() -> DhGroup:
+    """Find a 512-bit safe prime deterministically (computed once at import)."""
+    candidate = _P_TEST
+    if _is_probable_prime(candidate) and _is_probable_prime((candidate - 1) // 2):
+        return DhGroup(name="modp-test", p=candidate, g=4)
+    # Deterministic fallback search from a fixed seed value.
+    q = _P_TEST >> 1
+    q |= 1
+    while True:
+        if _is_probable_prime(q) and _is_probable_prime(2 * q + 1):
+            return DhGroup(name="modp-test", p=2 * q + 1, g=4)
+        q += 2
+
+
+TEST_GROUP = _find_test_group()

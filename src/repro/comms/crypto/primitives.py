@@ -1,0 +1,125 @@
+"""Symmetric primitives built on the standard library's SHA-256.
+
+Constructions
+-------------
+* ``hmac_sha256`` — stdlib HMAC.
+* ``hkdf`` — RFC 5869 extract-and-expand.
+* ``stream_xor`` — a counter-mode keystream from SHA-256 blocks XORed onto
+  the plaintext (CTR-mode structure; the PRF is SHA-256(key || nonce || ctr)).
+* ``aead_encrypt`` / ``aead_decrypt`` — encrypt-then-MAC composition with
+  independent encryption and MAC keys derived from the AEAD key via HKDF,
+  MAC over ``nonce || aad || ciphertext``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import struct
+from typing import Tuple
+
+
+class AeadError(ValueError):
+    """Authentication failure during AEAD decryption."""
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 of ``data`` under ``key`` (32 bytes)."""
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Timing-safe byte-string comparison."""
+    return _hmac.compare_digest(a, b)
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """RFC 5869 HKDF-Extract."""
+    if not salt:
+        salt = b"\x00" * 32
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """RFC 5869 HKDF-Expand."""
+    if length > 255 * 32:
+        raise ValueError("HKDF output too long")
+    output = b""
+    block = b""
+    counter = 1
+    while len(output) < length:
+        block = hmac_sha256(prk, block + info + bytes([counter]))
+        output += block
+        counter += 1
+    return output[:length]
+
+
+def hkdf(ikm: bytes, *, salt: bytes = b"", info: bytes = b"", length: int = 32) -> bytes:
+    """One-shot HKDF (extract then expand)."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)
+
+
+def _keystream_block(key: bytes, nonce: bytes, counter: int) -> bytes:
+    return hashlib.sha256(key + nonce + struct.pack(">Q", counter)).digest()
+
+
+def stream_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """XOR ``data`` with a SHA-256 counter-mode keystream.
+
+    Encryption and decryption are the same operation.  ``nonce`` must never
+    repeat under the same key.
+    """
+    out = bytearray(len(data))
+    for block_index in range(0, (len(data) + 31) // 32):
+        block = _keystream_block(key, nonce, block_index)
+        offset = block_index * 32
+        chunk = data[offset : offset + 32]
+        for i, byte in enumerate(chunk):
+            out[offset + i] = byte ^ block[i]
+    return bytes(out)
+
+
+def _derive_aead_keys(key: bytes) -> Tuple[bytes, bytes]:
+    enc = hkdf_expand(key, b"aead-enc", 32)
+    mac = hkdf_expand(key, b"aead-mac", 32)
+    return enc, mac
+
+
+def aead_encrypt(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """Encrypt-then-MAC AEAD.  Returns ``ciphertext || tag(32)``."""
+    if len(key) != 32:
+        raise ValueError("AEAD key must be 32 bytes")
+    enc_key, mac_key = _derive_aead_keys(key)
+    ciphertext = stream_xor(enc_key, nonce, plaintext)
+    tag = hmac_sha256(mac_key, nonce + _length_prefix(aad) + ciphertext)
+    return ciphertext + tag
+
+
+def aead_decrypt(key: bytes, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+    """Verify and decrypt ``ciphertext || tag``.
+
+    Raises
+    ------
+    AeadError
+        On truncated input or tag mismatch (tampering, wrong key/nonce/AAD).
+    """
+    if len(key) != 32:
+        raise ValueError("AEAD key must be 32 bytes")
+    if len(sealed) < 32:
+        raise AeadError("sealed message shorter than the tag")
+    ciphertext, tag = sealed[:-32], sealed[-32:]
+    enc_key, mac_key = _derive_aead_keys(key)
+    expected = hmac_sha256(mac_key, nonce + _length_prefix(aad) + ciphertext)
+    if not constant_time_equal(tag, expected):
+        raise AeadError("authentication tag mismatch")
+    return stream_xor(enc_key, nonce, ciphertext)
+
+
+def _length_prefix(data: bytes) -> bytes:
+    """Length-prefix AAD so (aad, ct) boundaries are unambiguous in the MAC."""
+    return struct.pack(">I", len(data)) + data
+
+
+def nonce_from_sequence(seq: int, direction: int = 0) -> bytes:
+    """Deterministic 16-byte record nonce from a sequence number."""
+    return struct.pack(">QQ", direction, seq)

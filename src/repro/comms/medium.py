@@ -1,0 +1,216 @@
+"""The shared wireless medium.
+
+The medium owns delivery physics: it computes the link budget per
+transmission (including canopy loss from the world, co-channel interference
+from concurrent senders and jamming power from registered jammers), draws
+frame success, accounts channel utilisation, and schedules delivery.
+
+Jammers and eavesdroppers register here — this is the attack surface for RF
+attacks, below any cryptographic protection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.comms.radio import (
+    RadioConfig,
+    airtime_s,
+    combine_noise_dbm,
+    link_budget,
+    received_power_dbm,
+)
+from repro.sim.engine import Simulator
+from repro.sim.events import EventCategory, EventLog
+from repro.sim.geometry import Vec2
+from repro.sim.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.comms.link import Frame, LinkEndpoint
+
+
+class Jammer:
+    """A registered jamming source.
+
+    Parameters
+    ----------
+    name:
+        Attacker identifier.
+    position_fn:
+        Callable returning the jammer's current position.
+    power_dbm:
+        Radiated jamming power.
+    channel:
+        Channel jammed; None jams all channels (broadband).
+    active_fn:
+        Callable returning whether the jammer currently radiates (reactive
+        jammers key on observed traffic).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        position_fn: Callable[[], Vec2],
+        power_dbm: float,
+        channel: Optional[int] = None,
+        active_fn: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.name = name
+        self.position_fn = position_fn
+        self.power_dbm = power_dbm
+        self.channel = channel
+        self.active_fn = active_fn or (lambda: True)
+
+    def interference_at(self, position: Vec2, channel: int) -> float:
+        """Jamming power received at ``position`` on ``channel``, dBm."""
+        if self.channel is not None and self.channel != channel:
+            return -math.inf
+        if not self.active_fn():
+            return -math.inf
+        distance = self.position_fn().distance_to(position)
+        return received_power_dbm(self.power_dbm, distance, antenna_gain_db=0.0)
+
+
+class WirelessMedium:
+    """The shared medium all worksite radios transmit on.
+
+    Parameters
+    ----------
+    sim, log, streams:
+        Kernel plumbing.
+    canopy_fn:
+        Optional callable ``(a, b) -> canopy metres`` used for foliage loss
+        (normally :meth:`repro.sim.world.World.canopy_blockage`).
+    propagation_delay_s:
+        Fixed propagation + processing latency per frame.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        log: EventLog,
+        streams: RngStreams,
+        *,
+        canopy_fn: Optional[Callable[[Vec2, Vec2], float]] = None,
+        propagation_delay_s: float = 0.002,
+    ) -> None:
+        self.sim = sim
+        self.log = log
+        self._rng = streams.stream("medium")
+        self.canopy_fn = canopy_fn
+        self.propagation_delay_s = propagation_delay_s
+        self._endpoints: Dict[str, "LinkEndpoint"] = {}
+        self.jammers: List[Jammer] = []
+        self.eavesdroppers: List[Callable[["Frame", bytes], None]] = []
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_lost = 0
+        self._airtime_by_channel: Dict[int, float] = {}
+        self._recent_tx: List[tuple] = []  # (end_time, position, power, channel)
+
+    # -- registration -------------------------------------------------------
+    def register(self, endpoint: "LinkEndpoint") -> None:
+        if endpoint.name in self._endpoints:
+            raise ValueError(f"duplicate endpoint name {endpoint.name!r}")
+        self._endpoints[endpoint.name] = endpoint
+
+    def endpoint(self, name: str) -> "LinkEndpoint":
+        return self._endpoints[name]
+
+    @property
+    def endpoints(self) -> List["LinkEndpoint"]:
+        return list(self._endpoints.values())
+
+    def add_jammer(self, jammer: Jammer) -> None:
+        self.jammers.append(jammer)
+
+    def remove_jammer(self, jammer: Jammer) -> None:
+        if jammer in self.jammers:
+            self.jammers.remove(jammer)
+
+    def add_eavesdropper(self, callback: Callable[["Frame", bytes], None]) -> None:
+        """Register a passive observer of every transmitted frame."""
+        self.eavesdroppers.append(callback)
+
+    # -- interference -------------------------------------------------------
+    def interference_at(self, position: Vec2, channel: int, now: float) -> float:
+        """Aggregate interference power at ``position``, dBm.
+
+        Transmissions originating at the receiver's own position are skipped
+        (full-duplex radio assumption — a node does not jam itself).
+        """
+        components = [
+            j.interference_at(position, channel) for j in self.jammers
+        ]
+        # co-channel interference from overlapping recent transmissions
+        self._recent_tx = [t for t in self._recent_tx if t[0] > now]
+        for _, pos, power, ch in self._recent_tx:
+            if ch == channel and pos.distance_to(position) > 0.5:
+                d = pos.distance_to(position)
+                components.append(received_power_dbm(power, d, antenna_gain_db=0.0) - 6.0)
+        components = [c for c in components if c != -math.inf]
+        if not components:
+            return -math.inf
+        return combine_noise_dbm(*components)
+
+    def channel_utilization(self, channel: int, window_s: float, now: float) -> float:
+        """Fraction of the last ``window_s`` spent transmitting on ``channel``."""
+        used = self._airtime_by_channel.get(channel, 0.0)
+        if window_s <= 0.0:
+            return 0.0
+        return min(1.0, used / max(now, window_s))
+
+    # -- transmission -------------------------------------------------------
+    def transmit(self, sender: "LinkEndpoint", frame: "Frame", raw: bytes) -> None:
+        """Transmit ``frame`` from ``sender``; delivery is probabilistic."""
+        self.frames_sent += 1
+        now = self.sim.now
+        config = sender.radio
+        air = airtime_s(len(raw), config.bitrate_bps)
+        self._airtime_by_channel[config.channel] = (
+            self._airtime_by_channel.get(config.channel, 0.0) + air
+        )
+
+        for watcher in self.eavesdroppers:
+            watcher(frame, raw)
+
+        receiver = self._endpoints.get(frame.dst)
+        if receiver is None or not receiver.powered:
+            self._record_tx(now, air, sender, config)
+            self.frames_lost += 1
+            return
+        distance = sender.position.distance_to(receiver.position)
+        canopy = 0.0
+        if self.canopy_fn is not None:
+            canopy = self.canopy_fn(sender.position, receiver.position)
+        # interference is evaluated before this frame is recorded, so a frame
+        # never interferes with its own reception (CSMA keeps co-channel
+        # overlap rare; only genuinely concurrent transmissions count)
+        interference = self.interference_at(receiver.position, config.channel, now)
+        self._record_tx(now, air, sender, config)
+        budget = link_budget(
+            config, distance, canopy_m=canopy, interference_dbm=interference
+        )
+        if self._rng.random() >= budget.success_probability:
+            self.frames_lost += 1
+            self.log.emit(
+                now, EventCategory.COMMS, "frame_lost", sender.name,
+                dst=frame.dst, snr_db=round(budget.snr_db, 1),
+            )
+            return
+        self.frames_delivered += 1
+        delay = self.propagation_delay_s + air
+        self.sim.schedule(delay, lambda: receiver.receive_raw(frame, raw))
+
+    def _record_tx(self, now: float, air: float, sender, config: RadioConfig) -> None:
+        self._recent_tx.append(
+            (now + air, sender.position, config.tx_power_dbm, config.channel)
+        )
+
+    @property
+    def delivery_ratio(self) -> float:
+        if self.frames_sent == 0:
+            return 1.0
+        return self.frames_delivered / self.frames_sent

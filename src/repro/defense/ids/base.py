@@ -1,0 +1,77 @@
+"""IDS interfaces and alert records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventCategory, EventLog
+
+
+@dataclass(frozen=True)
+class Alert:
+    """An IDS alert.
+
+    Attributes
+    ----------
+    time:
+        Alert time.
+    detector:
+        Name of the raising detector.
+    alert_type:
+        Attack-class hypothesis (matches ``Attack.attack_type`` vocabulary
+        where the detector can tell, otherwise a detector-specific label).
+    confidence:
+        Detector confidence in [0, 1].
+    details:
+        Free-form evidence.
+    """
+
+    time: float
+    detector: str
+    alert_type: str
+    confidence: float
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class IntrusionDetector:
+    """Base detector: owns a name, a sink and alert bookkeeping.
+
+    Subclasses monitor whatever surface they need (event log subscription,
+    periodic sampling) and call :meth:`raise_alert`.
+    """
+
+    def __init__(self, name: str, sim: Simulator, log: EventLog) -> None:
+        self.name = name
+        self.sim = sim
+        self.log = log
+        self.alerts: List[Alert] = []
+        self._sinks: List[Callable[[Alert], None]] = []
+        self.enabled = True
+
+    def add_sink(self, sink: Callable[[Alert], None]) -> None:
+        """Register a consumer (normally the :class:`IdsManager`)."""
+        self._sinks.append(sink)
+
+    def raise_alert(
+        self, alert_type: str, confidence: float, **details: Any
+    ) -> Optional[Alert]:
+        """Create, store and publish an alert (no-op when disabled)."""
+        if not self.enabled:
+            return None
+        alert = Alert(
+            time=self.sim.now,
+            detector=self.name,
+            alert_type=alert_type,
+            confidence=confidence,
+            details=details,
+        )
+        self.alerts.append(alert)
+        self.log.emit(
+            self.sim.now, EventCategory.DEFENSE, "ids_alert", self.name,
+            alert_type=alert_type, confidence=round(confidence, 3),
+        )
+        for sink in self._sinks:
+            sink(alert)
+        return alert

@@ -1,0 +1,98 @@
+"""Signature-based IDS: known-pattern rules over the event stream.
+
+Rules match event kinds with a rate threshold inside a sliding window —
+"N occurrences of X within W seconds".  The default rule set covers the
+attack signatures this worksite knows about; novel attacks are invisible to
+it, which is the point of the E-A3 ablation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.defense.ids.base import IntrusionDetector
+from repro.sim.engine import Simulator
+from repro.sim.events import EventLog, SimEvent
+
+
+@dataclass(frozen=True)
+class SignatureRule:
+    """A threshold rule over one event kind.
+
+    Attributes
+    ----------
+    name:
+        Rule identifier.
+    event_kind:
+        Event kind to count (e.g. ``"deauthenticated"``).
+    threshold:
+        Number of matching events within ``window_s`` that triggers.
+    window_s:
+        Sliding window length.
+    alert_type:
+        Attack-class label raised on trigger.
+    cooldown_s:
+        Minimum time between successive alerts of this rule.
+    """
+
+    name: str
+    event_kind: str
+    threshold: int
+    window_s: float
+    alert_type: str
+    cooldown_s: float = 10.0
+
+
+DEFAULT_RULES: List[SignatureRule] = [
+    SignatureRule("deauth-flood", "deauthenticated", 3, 30.0, "wifi_deauth"),
+    SignatureRule("deauth-forgeries", "deauth_rejected", 3, 30.0, "wifi_deauth"),
+    SignatureRule("record-rejects", "record_rejected", 5, 20.0, "message_injection"),
+    SignatureRule("command-rejects", "command_rejected", 2, 30.0, "message_injection"),
+    SignatureRule("frame-loss-burst", "frame_lost", 25, 10.0, "rf_jamming"),
+    SignatureRule("heartbeat-loss", "heartbeat_lost", 1, 1.0, "rf_jamming", cooldown_s=30.0),
+    SignatureRule("sensor-blinded", "sensor_blinded", 1, 1.0, "camera_blinding"),
+]
+
+
+class SignatureIds(IntrusionDetector):
+    """Rule-matching IDS subscribed to the whole event stream."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        log: EventLog,
+        rules: Optional[List[SignatureRule]] = None,
+    ) -> None:
+        super().__init__(name, sim, log)
+        self.rules = list(DEFAULT_RULES if rules is None else rules)
+        self._windows: Dict[str, Deque[float]] = {rule.name: deque() for rule in self.rules}
+        self._last_fired: Dict[str, float] = {}
+        self._by_kind: Dict[str, List[SignatureRule]] = {}
+        for rule in self.rules:
+            self._by_kind.setdefault(rule.event_kind, []).append(rule)
+        log.subscribe(self._on_event)
+
+    def _on_event(self, event: SimEvent) -> None:
+        rules = self._by_kind.get(event.kind)
+        if not rules:
+            return
+        for rule in rules:
+            window = self._windows[rule.name]
+            window.append(event.time)
+            horizon = event.time - rule.window_s
+            while window and window[0] < horizon:
+                window.popleft()
+            if len(window) >= rule.threshold:
+                last = self._last_fired.get(rule.name, -1e18)
+                if event.time - last >= rule.cooldown_s:
+                    self._last_fired[rule.name] = event.time
+                    self.raise_alert(
+                        rule.alert_type,
+                        confidence=0.9,
+                        rule=rule.name,
+                        count=len(window),
+                        window_s=rule.window_s,
+                    )

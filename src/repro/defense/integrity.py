@@ -1,0 +1,131 @@
+"""System integrity: secure boot and remote attestation.
+
+IEC TS 63074's "system integrity" countermeasure.  The model: each machine
+boots through a chain of measured stages; every stage's hash must match the
+manufacturer's reference before the next stage runs.  A remote attestation
+service challenges machines for a signed quote over their measurement log,
+detecting offline tampering — the supply-chain/maintenance-access threat of
+the forestry threat profile (machines parked unattended in remote forest).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.comms.crypto.keys import KeyPair, SchnorrSignature, sign, verify
+from repro.comms.crypto.numbers import DhGroup, MODP_2048
+
+
+@dataclass(frozen=True)
+class BootStage:
+    """One stage of the boot chain: a name and its code image."""
+
+    name: str
+    image: bytes
+
+    def measurement(self) -> bytes:
+        return hashlib.sha256(self.name.encode() + b"\x00" + self.image).digest()
+
+
+class SecureBootChain:
+    """A measured boot chain with a reference manifest.
+
+    Parameters
+    ----------
+    stages:
+        Boot stages in order (bootloader, kernel, control application, ...).
+    """
+
+    def __init__(self, stages: Sequence[BootStage]) -> None:
+        if not stages:
+            raise ValueError("boot chain needs at least one stage")
+        self.stages = list(stages)
+        self.reference = [stage.measurement() for stage in stages]
+        self.measurement_log: List[bytes] = []
+        self.booted = False
+        self.failed_stage: Optional[str] = None
+
+    def boot(self, current_images: Optional[Dict[str, bytes]] = None) -> bool:
+        """Attempt boot; ``current_images`` overrides stage images (tampering).
+
+        Returns True when every measurement matches the reference.  On
+        mismatch the boot halts at the failing stage.
+        """
+        self.measurement_log = []
+        self.booted = False
+        self.failed_stage = None
+        overrides = current_images or {}
+        for stage, reference in zip(self.stages, self.reference):
+            image = overrides.get(stage.name, stage.image)
+            measurement = BootStage(stage.name, image).measurement()
+            self.measurement_log.append(measurement)
+            if measurement != reference:
+                self.failed_stage = stage.name
+                return False
+        self.booted = True
+        return True
+
+    def log_digest(self) -> bytes:
+        """Rolling digest of the measurement log (the PCR analogue)."""
+        acc = b"\x00" * 32
+        for measurement in self.measurement_log:
+            acc = hashlib.sha256(acc + measurement).digest()
+        return acc
+
+
+@dataclass(frozen=True)
+class AttestationQuote:
+    """A signed attestation: nonce, log digest, signature."""
+
+    machine: str
+    nonce: bytes
+    digest: bytes
+    signature: SchnorrSignature
+
+
+class AttestationService:
+    """Remote attestation: challenge machines, verify signed quotes.
+
+    Parameters
+    ----------
+    group:
+        Signature group shared with machine attestation keys.
+    """
+
+    def __init__(self, group: DhGroup = MODP_2048) -> None:
+        self.group = group
+        self._expected: Dict[str, Tuple[int, bytes]] = {}
+        self.verified = 0
+        self.rejected = 0
+
+    def enroll(self, machine: str, public_key: int, reference_digest: bytes) -> None:
+        """Register a machine's attestation key and golden log digest."""
+        self._expected[machine] = (public_key, reference_digest)
+
+    @staticmethod
+    def produce_quote(
+        machine: str, keypair: KeyPair, chain: SecureBootChain, nonce: bytes
+    ) -> AttestationQuote:
+        """Machine side: sign the current log digest with the nonce."""
+        digest = chain.log_digest()
+        signature = sign(keypair, machine.encode() + nonce + digest)
+        return AttestationQuote(machine=machine, nonce=nonce, digest=digest, signature=signature)
+
+    def verify_quote(self, quote: AttestationQuote, nonce: bytes) -> bool:
+        """Verifier side: check nonce freshness, signature and golden digest."""
+        expected = self._expected.get(quote.machine)
+        if expected is None or quote.nonce != nonce:
+            self.rejected += 1
+            return False
+        public_key, reference_digest = expected
+        message = quote.machine.encode() + nonce + quote.digest
+        if not verify(self.group, public_key, message, quote.signature):
+            self.rejected += 1
+            return False
+        if quote.digest != reference_digest:
+            self.rejected += 1
+            return False
+        self.verified += 1
+        return True

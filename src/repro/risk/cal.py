@@ -1,0 +1,84 @@
+"""Cybersecurity Assurance Level determination (ISO/SAE 21434 Annex E).
+
+CAL 1–4 from the impact of the associated damage scenario and the attack
+vector through which the threat is mounted (the Annex E scheme): remote
+attacks on severe-impact scenarios demand CAL 4; physical-access attacks on
+moderate scenarios CAL 1–2.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+from repro.risk.impact import ImpactRating
+
+
+class AttackVector(enum.IntEnum):
+    """Attack vector classes, ordered by reach (wider = more exposed)."""
+
+    PHYSICAL = 0
+    LOCAL = 1
+    ADJACENT = 2  # radio range
+    NETWORK = 3   # remote
+
+
+class CaLevel(enum.IntEnum):
+    """Cybersecurity assurance levels."""
+
+    CAL1 = 1
+    CAL2 = 2
+    CAL3 = 3
+    CAL4 = 4
+
+
+#: attack type -> attack vector (worksite attacks are mostly radio-adjacent)
+ATTACK_VECTORS: Dict[str, AttackVector] = {
+    "rf_jamming": AttackVector.ADJACENT,
+    "frequency_interference": AttackVector.ADJACENT,
+    "wifi_deauth": AttackVector.ADJACENT,
+    "gnss_jamming": AttackVector.ADJACENT,
+    "gnss_spoofing": AttackVector.ADJACENT,
+    "camera_blinding": AttackVector.PHYSICAL,
+    "camera_hijack": AttackVector.NETWORK,
+    "message_injection": AttackVector.ADJACENT,
+    "message_replay": AttackVector.ADJACENT,
+    "message_tampering": AttackVector.ADJACENT,
+    "eavesdropping": AttackVector.ADJACENT,
+    "firmware_tampering": AttackVector.PHYSICAL,
+    "credential_bruteforce": AttackVector.NETWORK,
+}
+
+#: (impact, vector) -> CAL, per the Annex E informative scheme
+_CAL_TABLE: Dict[Tuple[ImpactRating, AttackVector], CaLevel] = {}
+for _impact in ImpactRating:
+    for _vector in AttackVector:
+        if _impact is ImpactRating.NEGLIGIBLE:
+            level = CaLevel.CAL1
+        elif _impact is ImpactRating.MODERATE:
+            level = CaLevel.CAL1 if _vector <= AttackVector.LOCAL else CaLevel.CAL2
+        elif _impact is ImpactRating.MAJOR:
+            if _vector <= AttackVector.LOCAL:
+                level = CaLevel.CAL2
+            elif _vector is AttackVector.ADJACENT:
+                level = CaLevel.CAL3
+            else:
+                level = CaLevel.CAL3
+        else:  # SEVERE
+            if _vector is AttackVector.PHYSICAL:
+                level = CaLevel.CAL2
+            elif _vector is AttackVector.LOCAL:
+                level = CaLevel.CAL3
+            else:
+                level = CaLevel.CAL4
+        _CAL_TABLE[(_impact, _vector)] = level
+
+
+def attack_vector_of(attack_type: str) -> AttackVector:
+    """Vector class of an attack type (ADJACENT fallback for radio site)."""
+    return ATTACK_VECTORS.get(attack_type, AttackVector.ADJACENT)
+
+
+def determine_cal(impact: ImpactRating, attack_type: str) -> CaLevel:
+    """CAL from impact rating and the threat's attack vector."""
+    return _CAL_TABLE[(impact, attack_vector_of(attack_type))]

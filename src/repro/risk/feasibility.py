@@ -1,0 +1,182 @@
+"""Attack-feasibility rating via attack potential (ISO/SAE 21434 Annex G).
+
+The attack-potential approach of ISO 18045: each attack (path) is scored on
+five factors — elapsed time, specialist expertise, knowledge of the item,
+window of opportunity, equipment — whose points sum to the attack potential.
+Higher potential required ⇒ lower feasibility for the attacker population.
+
+Countermeasures raise the required potential: the treatment step adds each
+deployed measure's ``feasibility_increase`` (scaled) to the relevant factor
+sum and re-rates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+class ElapsedTime(enum.IntEnum):
+    """Time needed to identify and exploit (points)."""
+
+    ONE_DAY = 0
+    ONE_WEEK = 1
+    ONE_MONTH = 4
+    SIX_MONTHS = 17
+    BEYOND_SIX_MONTHS = 19
+
+
+class Expertise(enum.IntEnum):
+    """Specialist expertise required (points)."""
+
+    LAYMAN = 0
+    PROFICIENT = 3
+    EXPERT = 6
+    MULTIPLE_EXPERTS = 8
+
+
+class Knowledge(enum.IntEnum):
+    """Knowledge of the item required (points)."""
+
+    PUBLIC = 0
+    RESTRICTED = 3
+    CONFIDENTIAL = 7
+    STRICTLY_CONFIDENTIAL = 11
+
+
+class WindowOfOpportunity(enum.IntEnum):
+    """Access window required (points)."""
+
+    UNLIMITED = 0
+    EASY = 1
+    MODERATE = 4
+    DIFFICULT = 10
+
+
+class Equipment(enum.IntEnum):
+    """Equipment required (points)."""
+
+    STANDARD = 0
+    SPECIALIZED = 4
+    BESPOKE = 7
+    MULTIPLE_BESPOKE = 9
+
+
+class FeasibilityRating(enum.IntEnum):
+    """Attack feasibility, ordered so higher = easier attack."""
+
+    VERY_LOW = 0
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+
+
+@dataclass(frozen=True)
+class AttackPotential:
+    """The five-factor attack-potential vector."""
+
+    elapsed_time: ElapsedTime = ElapsedTime.ONE_WEEK
+    expertise: Expertise = Expertise.PROFICIENT
+    knowledge: Knowledge = Knowledge.PUBLIC
+    window: WindowOfOpportunity = WindowOfOpportunity.EASY
+    equipment: Equipment = Equipment.STANDARD
+    extra_points: int = 0  # countermeasure-induced hardening
+
+    def points(self) -> int:
+        return (
+            int(self.elapsed_time)
+            + int(self.expertise)
+            + int(self.knowledge)
+            + int(self.window)
+            + int(self.equipment)
+            + self.extra_points
+        )
+
+    def hardened(self, additional_points: int) -> "AttackPotential":
+        """The potential after deploying countermeasures."""
+        if additional_points < 0:
+            raise ValueError("hardening points must be non-negative")
+        return replace(self, extra_points=self.extra_points + additional_points)
+
+
+def rate_feasibility(potential: AttackPotential) -> FeasibilityRating:
+    """Map attack-potential points to the feasibility rating (Annex G bands)."""
+    points = potential.points()
+    if points <= 13:
+        return FeasibilityRating.HIGH
+    if points <= 19:
+        return FeasibilityRating.MEDIUM
+    if points <= 24:
+        return FeasibilityRating.LOW
+    return FeasibilityRating.VERY_LOW
+
+
+#: default attack-potential vectors per attack type, reflecting the survey's
+#: qualitative difficulty ordering (jamming is cheap; GNSS spoofing needs
+#: specialised equipment; firmware tampering needs physical access + expertise)
+DEFAULT_POTENTIALS: Dict[str, AttackPotential] = {
+    "rf_jamming": AttackPotential(
+        ElapsedTime.ONE_DAY, Expertise.LAYMAN, Knowledge.PUBLIC,
+        WindowOfOpportunity.EASY, Equipment.STANDARD,
+    ),
+    "frequency_interference": AttackPotential(
+        ElapsedTime.ONE_DAY, Expertise.LAYMAN, Knowledge.PUBLIC,
+        WindowOfOpportunity.EASY, Equipment.STANDARD,
+    ),
+    "wifi_deauth": AttackPotential(
+        ElapsedTime.ONE_DAY, Expertise.PROFICIENT, Knowledge.PUBLIC,
+        WindowOfOpportunity.EASY, Equipment.STANDARD,
+    ),
+    "gnss_jamming": AttackPotential(
+        ElapsedTime.ONE_DAY, Expertise.PROFICIENT, Knowledge.PUBLIC,
+        WindowOfOpportunity.EASY, Equipment.SPECIALIZED,
+    ),
+    "gnss_spoofing": AttackPotential(
+        ElapsedTime.ONE_WEEK, Expertise.EXPERT, Knowledge.PUBLIC,
+        WindowOfOpportunity.MODERATE, Equipment.SPECIALIZED,
+    ),
+    "camera_blinding": AttackPotential(
+        ElapsedTime.ONE_DAY, Expertise.LAYMAN, Knowledge.PUBLIC,
+        WindowOfOpportunity.MODERATE, Equipment.STANDARD,
+    ),
+    "camera_hijack": AttackPotential(
+        ElapsedTime.ONE_MONTH, Expertise.EXPERT, Knowledge.RESTRICTED,
+        WindowOfOpportunity.MODERATE, Equipment.SPECIALIZED,
+    ),
+    "message_injection": AttackPotential(
+        ElapsedTime.ONE_WEEK, Expertise.PROFICIENT, Knowledge.RESTRICTED,
+        WindowOfOpportunity.EASY, Equipment.STANDARD,
+    ),
+    "message_replay": AttackPotential(
+        ElapsedTime.ONE_WEEK, Expertise.PROFICIENT, Knowledge.RESTRICTED,
+        WindowOfOpportunity.EASY, Equipment.STANDARD,
+    ),
+    "message_tampering": AttackPotential(
+        ElapsedTime.ONE_WEEK, Expertise.EXPERT, Knowledge.RESTRICTED,
+        WindowOfOpportunity.MODERATE, Equipment.SPECIALIZED,
+    ),
+    "eavesdropping": AttackPotential(
+        ElapsedTime.ONE_DAY, Expertise.PROFICIENT, Knowledge.PUBLIC,
+        WindowOfOpportunity.EASY, Equipment.STANDARD,
+    ),
+    "firmware_tampering": AttackPotential(
+        ElapsedTime.ONE_MONTH, Expertise.EXPERT, Knowledge.CONFIDENTIAL,
+        WindowOfOpportunity.DIFFICULT, Equipment.SPECIALIZED,
+    ),
+    "credential_bruteforce": AttackPotential(
+        ElapsedTime.ONE_WEEK, Expertise.PROFICIENT, Knowledge.PUBLIC,
+        WindowOfOpportunity.EASY, Equipment.STANDARD,
+    ),
+}
+
+
+def default_potential(attack_type: str) -> AttackPotential:
+    """The default potential for an attack type (generic fallback)."""
+    return DEFAULT_POTENTIALS.get(
+        attack_type,
+        AttackPotential(
+            ElapsedTime.ONE_MONTH, Expertise.EXPERT, Knowledge.RESTRICTED,
+            WindowOfOpportunity.MODERATE, Equipment.SPECIALIZED,
+        ),
+    )

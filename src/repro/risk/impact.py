@@ -1,0 +1,69 @@
+"""SFOP impact rating (ISO/SAE 21434 clause 15.5).
+
+Damage scenarios are rated in four categories — Safety, Financial,
+Operational, Privacy — each on the scale negligible / moderate / major /
+severe.  The overall impact of a damage scenario is the maximum category
+rating (the standard assesses categories independently; the maximum is the
+conventional aggregation for risk-value determination).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ImpactRating(enum.IntEnum):
+    """Per-category impact rating."""
+
+    NEGLIGIBLE = 0
+    MODERATE = 1
+    MAJOR = 2
+    SEVERE = 3
+
+
+class ImpactCategory(enum.Enum):
+    """SFOP categories."""
+
+    SAFETY = "safety"
+    FINANCIAL = "financial"
+    OPERATIONAL = "operational"
+    PRIVACY = "privacy"
+
+
+@dataclass(frozen=True)
+class SfopImpact:
+    """The four category ratings of one damage scenario."""
+
+    safety: ImpactRating = ImpactRating.NEGLIGIBLE
+    financial: ImpactRating = ImpactRating.NEGLIGIBLE
+    operational: ImpactRating = ImpactRating.NEGLIGIBLE
+    privacy: ImpactRating = ImpactRating.NEGLIGIBLE
+
+    def overall(self) -> ImpactRating:
+        """Maximum category rating."""
+        return max(self.safety, self.financial, self.operational, self.privacy)
+
+    def dominated_by_safety(self) -> bool:
+        """True when safety is (one of) the highest-rated categories."""
+        return self.safety == self.overall() and self.safety > ImpactRating.NEGLIGIBLE
+
+    def category(self, category: ImpactCategory) -> ImpactRating:
+        return {
+            ImpactCategory.SAFETY: self.safety,
+            ImpactCategory.FINANCIAL: self.financial,
+            ImpactCategory.OPERATIONAL: self.operational,
+            ImpactCategory.PRIVACY: self.privacy,
+        }[category]
+
+    @staticmethod
+    def of(
+        safety: int = 0, financial: int = 0, operational: int = 0, privacy: int = 0
+    ) -> "SfopImpact":
+        """Convenience constructor from integers 0–3."""
+        return SfopImpact(
+            safety=ImpactRating(safety),
+            financial=ImpactRating(financial),
+            operational=ImpactRating(operational),
+            privacy=ImpactRating(privacy),
+        )

@@ -1,0 +1,47 @@
+"""The risk-value matrix (ISO/SAE 21434 clause 15.8).
+
+Risk value on the 1–5 scale from impact (overall SFOP rating) and attack
+feasibility, following the informative matrix of the standard's Annex H:
+risk grows with both coordinates; severe-impact/high-feasibility is 5,
+negligible-impact anything is 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.risk.feasibility import FeasibilityRating
+from repro.risk.impact import ImpactRating
+
+#: (impact, feasibility) -> risk value 1..5
+_MATRIX: Dict[Tuple[ImpactRating, FeasibilityRating], int] = {
+    (ImpactRating.NEGLIGIBLE, FeasibilityRating.VERY_LOW): 1,
+    (ImpactRating.NEGLIGIBLE, FeasibilityRating.LOW): 1,
+    (ImpactRating.NEGLIGIBLE, FeasibilityRating.MEDIUM): 1,
+    (ImpactRating.NEGLIGIBLE, FeasibilityRating.HIGH): 1,
+    (ImpactRating.MODERATE, FeasibilityRating.VERY_LOW): 1,
+    (ImpactRating.MODERATE, FeasibilityRating.LOW): 2,
+    (ImpactRating.MODERATE, FeasibilityRating.MEDIUM): 2,
+    (ImpactRating.MODERATE, FeasibilityRating.HIGH): 3,
+    (ImpactRating.MAJOR, FeasibilityRating.VERY_LOW): 2,
+    (ImpactRating.MAJOR, FeasibilityRating.LOW): 2,
+    (ImpactRating.MAJOR, FeasibilityRating.MEDIUM): 3,
+    (ImpactRating.MAJOR, FeasibilityRating.HIGH): 4,
+    (ImpactRating.SEVERE, FeasibilityRating.VERY_LOW): 2,
+    (ImpactRating.SEVERE, FeasibilityRating.LOW): 3,
+    (ImpactRating.SEVERE, FeasibilityRating.MEDIUM): 4,
+    (ImpactRating.SEVERE, FeasibilityRating.HIGH): 5,
+}
+
+
+def risk_value(impact: ImpactRating, feasibility: FeasibilityRating) -> int:
+    """Risk value (1 = lowest, 5 = highest)."""
+    return _MATRIX[(impact, feasibility)]
+
+
+def risk_label(value: int) -> str:
+    """Qualitative label for a risk value."""
+    labels = {1: "very low", 2: "low", 3: "medium", 4: "high", 5: "critical"}
+    if value not in labels:
+        raise ValueError(f"risk value must be 1..5, got {value}")
+    return labels[value]

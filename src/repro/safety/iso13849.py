@@ -1,0 +1,207 @@
+"""ISO 13849-1 Performance Level calculus.
+
+Implements the simplified quantification of ISO 13849-1 clause 4.5: from the
+designated architecture **Category** (B, 1–4), the **MTTFd** band of each
+channel (low / medium / high), the average **diagnostic coverage** band
+(none / low / medium / high) and adequate **CCF** measures, the achieved
+**Performance Level** (a–e) follows Table 7 of the standard.
+
+Also provides the PL⇄PFHd band mapping (Table 3) and the comparison against
+a required PLr, used by the combined methodology to decide whether the
+people-detection safety function satisfies the hazard's requirement — with
+and without the drone channel.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+class Category(enum.Enum):
+    """Designated architecture categories of ISO 13849-1."""
+
+    B = "B"
+    CAT1 = "1"
+    CAT2 = "2"
+    CAT3 = "3"
+    CAT4 = "4"
+
+
+class MttfdBand(enum.Enum):
+    """Mean time to dangerous failure bands (years)."""
+
+    LOW = "low"        # 3 <= MTTFd < 10
+    MEDIUM = "medium"  # 10 <= MTTFd < 30
+    HIGH = "high"      # 30 <= MTTFd <= 100
+
+
+class DiagnosticCoverage(enum.Enum):
+    """Average diagnostic coverage bands."""
+
+    NONE = "none"      # DC < 60 %
+    LOW = "low"        # 60 % <= DC < 90 %
+    MEDIUM = "medium"  # 90 % <= DC < 99 %
+    HIGH = "high"      # DC >= 99 %
+
+
+class PerformanceLevel(enum.Enum):
+    """Performance levels, ordered a (lowest) to e (highest)."""
+
+    A = "a"
+    B = "b"
+    C = "c"
+    D = "d"
+    E = "e"
+
+    @property
+    def rank(self) -> int:
+        return "abcde".index(self.value)
+
+    def satisfies(self, required: "PerformanceLevel") -> bool:
+        return self.rank >= required.rank
+
+    @staticmethod
+    def from_letter(letter: str) -> "PerformanceLevel":
+        return PerformanceLevel(letter.lower())
+
+
+#: PL -> probability of dangerous failure per hour band (Table 3)
+PFHD_BANDS: Dict[PerformanceLevel, Tuple[float, float]] = {
+    PerformanceLevel.A: (1e-5, 1e-4),
+    PerformanceLevel.B: (3e-6, 1e-5),
+    PerformanceLevel.C: (1e-6, 3e-6),
+    PerformanceLevel.D: (1e-7, 1e-6),
+    PerformanceLevel.E: (1e-8, 1e-7),
+}
+
+
+def mttfd_band(mttfd_years: float) -> MttfdBand:
+    """Classify an MTTFd value (years) into its band.
+
+    Raises
+    ------
+    ValueError
+        Below 3 years (not usable) or above 100 (capped by the standard for
+        single channels; pass 100 to mean the cap).
+    """
+    if mttfd_years < 3.0:
+        raise ValueError(f"MTTFd {mttfd_years} y is below the usable minimum (3 y)")
+    if mttfd_years < 10.0:
+        return MttfdBand.LOW
+    if mttfd_years < 30.0:
+        return MttfdBand.MEDIUM
+    if mttfd_years <= 100.0:
+        return MttfdBand.HIGH
+    raise ValueError(f"MTTFd {mttfd_years} y exceeds the 100 y cap for evaluation")
+
+
+def dc_band(dc_fraction: float) -> DiagnosticCoverage:
+    """Classify a diagnostic coverage fraction into its band."""
+    if not 0.0 <= dc_fraction <= 1.0:
+        raise ValueError("DC must be a fraction in [0, 1]")
+    if dc_fraction < 0.60:
+        return DiagnosticCoverage.NONE
+    if dc_fraction < 0.90:
+        return DiagnosticCoverage.LOW
+    if dc_fraction < 0.99:
+        return DiagnosticCoverage.MEDIUM
+    return DiagnosticCoverage.HIGH
+
+
+# Table 7 of ISO 13849-1: (category, DCavg, MTTFd band) -> PL.  ``None``
+# marks combinations the standard does not permit.
+_TABLE7: Dict[Tuple[Category, DiagnosticCoverage, MttfdBand], Optional[PerformanceLevel]] = {
+    (Category.B, DiagnosticCoverage.NONE, MttfdBand.LOW): PerformanceLevel.A,
+    (Category.B, DiagnosticCoverage.NONE, MttfdBand.MEDIUM): PerformanceLevel.B,
+    (Category.B, DiagnosticCoverage.NONE, MttfdBand.HIGH): PerformanceLevel.B,
+    (Category.CAT1, DiagnosticCoverage.NONE, MttfdBand.LOW): None,
+    (Category.CAT1, DiagnosticCoverage.NONE, MttfdBand.MEDIUM): None,
+    (Category.CAT1, DiagnosticCoverage.NONE, MttfdBand.HIGH): PerformanceLevel.C,
+    (Category.CAT2, DiagnosticCoverage.LOW, MttfdBand.LOW): PerformanceLevel.A,
+    (Category.CAT2, DiagnosticCoverage.LOW, MttfdBand.MEDIUM): PerformanceLevel.B,
+    (Category.CAT2, DiagnosticCoverage.LOW, MttfdBand.HIGH): PerformanceLevel.C,
+    (Category.CAT2, DiagnosticCoverage.MEDIUM, MttfdBand.LOW): PerformanceLevel.B,
+    (Category.CAT2, DiagnosticCoverage.MEDIUM, MttfdBand.MEDIUM): PerformanceLevel.C,
+    (Category.CAT2, DiagnosticCoverage.MEDIUM, MttfdBand.HIGH): PerformanceLevel.D,
+    (Category.CAT3, DiagnosticCoverage.LOW, MttfdBand.LOW): PerformanceLevel.B,
+    (Category.CAT3, DiagnosticCoverage.LOW, MttfdBand.MEDIUM): PerformanceLevel.C,
+    (Category.CAT3, DiagnosticCoverage.LOW, MttfdBand.HIGH): PerformanceLevel.D,
+    (Category.CAT3, DiagnosticCoverage.MEDIUM, MttfdBand.LOW): PerformanceLevel.C,
+    (Category.CAT3, DiagnosticCoverage.MEDIUM, MttfdBand.MEDIUM): PerformanceLevel.D,
+    (Category.CAT3, DiagnosticCoverage.MEDIUM, MttfdBand.HIGH): PerformanceLevel.D,
+    (Category.CAT4, DiagnosticCoverage.HIGH, MttfdBand.HIGH): PerformanceLevel.E,
+}
+
+
+@dataclass(frozen=True)
+class SafetyFunctionDesign:
+    """The design parameters of one safety function channel structure.
+
+    Attributes
+    ----------
+    name:
+        Safety function name.
+    category:
+        Designated architecture.
+    mttfd_years:
+        MTTFd of each channel (the standard's symmetrised value).
+    dc_fraction:
+        Average diagnostic coverage.
+    ccf_adequate:
+        Whether the ≥65-point CCF score of Annex F is met (required for
+        categories 2–4).
+    """
+
+    name: str
+    category: Category
+    mttfd_years: float
+    dc_fraction: float
+    ccf_adequate: bool = True
+
+
+class PlEvaluationError(ValueError):
+    """The design parameters form no permitted ISO 13849-1 combination."""
+
+
+def achieved_pl(design: SafetyFunctionDesign) -> PerformanceLevel:
+    """Evaluate the achieved Performance Level of a design.
+
+    Raises
+    ------
+    PlEvaluationError
+        For combinations outside Table 7 (e.g. category 3 without diagnostic
+        coverage, category 4 without high DC, missing CCF measures).
+    """
+    band = mttfd_band(design.mttfd_years)
+    dc = dc_band(design.dc_fraction)
+    if design.category in (Category.CAT2, Category.CAT3, Category.CAT4):
+        if not design.ccf_adequate:
+            raise PlEvaluationError(
+                f"{design.name}: category {design.category.value} requires adequate CCF measures"
+            )
+        if design.category is not Category.CAT4 and dc is DiagnosticCoverage.NONE:
+            raise PlEvaluationError(
+                f"{design.name}: category {design.category.value} requires DC >= low"
+            )
+    if design.category is Category.CAT4 and dc is not DiagnosticCoverage.HIGH:
+        raise PlEvaluationError(f"{design.name}: category 4 requires DC high")
+    # Category 2/3 with DC high evaluates as DC medium per the table's scope.
+    lookup_dc = dc
+    if design.category in (Category.CAT2, Category.CAT3) and dc is DiagnosticCoverage.HIGH:
+        lookup_dc = DiagnosticCoverage.MEDIUM
+    key = (design.category, lookup_dc, band)
+    result = _TABLE7.get(key)
+    if result is None:
+        raise PlEvaluationError(
+            f"{design.name}: no permitted PL for category={design.category.value}, "
+            f"DC={dc.value}, MTTFd={band.value}"
+        )
+    return result
+
+
+def pfhd_midpoint(pl: PerformanceLevel) -> float:
+    """Geometric midpoint of the PL's PFHd band (for risk arithmetic)."""
+    lo, hi = PFHD_BANDS[pl]
+    return (lo * hi) ** 0.5

@@ -1,0 +1,30 @@
+"""Scenario composition: the paper's figures as runnable set-ups.
+
+* :mod:`repro.scenarios.worksite` — the Figure 1 partially-autonomous
+  worksite (forwarder + drone + harvester + workers + network + defences)
+  and the worksite item model for the risk assessments;
+* :mod:`repro.scenarios.usecase` — the Figure 2 minimal occlusion use case;
+* :mod:`repro.scenarios.campaigns` — named attack campaigns for the
+  benchmarks.
+"""
+
+from repro.scenarios.worksite import (
+    ScenarioConfig,
+    WorksiteScenario,
+    build_worksite,
+    worksite_item_model,
+)
+from repro.scenarios.usecase import UsecaseConfig, OcclusionUsecase, build_usecase
+from repro.scenarios.campaigns import build_campaign, CAMPAIGN_BUILDERS
+
+__all__ = [
+    "ScenarioConfig",
+    "WorksiteScenario",
+    "build_worksite",
+    "worksite_item_model",
+    "UsecaseConfig",
+    "OcclusionUsecase",
+    "build_usecase",
+    "build_campaign",
+    "CAMPAIGN_BUILDERS",
+]

@@ -1,0 +1,157 @@
+"""Synthetic people-detection AI.
+
+Section III-D: autonomous forestry machines rely on AI for "interpreting
+their surroundings using sensor data, performing object detection".  Training
+a real detector is out of scope (and the paper itself notes the data does not
+exist); what the safety and SOTIF analyses need is the detector's *operating
+characteristic* — how true/false positive rates move with image quality.
+
+The model: given an image quality ``q`` in [0, 1] from the camera,
+
+* the true-positive probability follows a calibrated logistic in ``q``;
+* false positives arise per frame at a quality-dependent rate (clutter looks
+  more like people in bad conditions);
+* a hijacked camera feed produces *no* detections reaching the safety
+  function (the attacker consumes or suppresses the stream).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sensors.camera import Camera
+from repro.sim.entities import Entity
+from repro.sim.geometry import Vec2
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class Detection:
+    """A people-detection output.
+
+    ``target`` is None for false positives.  ``estimated_position`` carries
+    camera-frame localisation noise.
+    """
+
+    time: float
+    sensor: str
+    target: Optional[str]
+    confidence: float
+    estimated_position: Vec2
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_false_positive(self) -> bool:
+        return self.target is None
+
+
+class PeopleDetector:
+    """Quality-conditioned detection model over a camera.
+
+    Parameters
+    ----------
+    camera:
+        The camera supplying image quality.
+    q50:
+        Image quality at which the true-positive rate is 50 %.
+    slope:
+        Steepness of the logistic TPR curve.
+    max_tpr:
+        Asymptotic true-positive rate (model ceiling).
+    fp_rate_clear / fp_rate_degraded:
+        Per-frame false-positive probabilities at quality 1 and 0.
+    localization_sigma:
+        Position noise of detections, metres.
+    """
+
+    def __init__(
+        self,
+        camera: Camera,
+        streams: RngStreams,
+        *,
+        q50: float = 0.18,
+        slope: float = 14.0,
+        max_tpr: float = 0.985,
+        fp_rate_clear: float = 0.002,
+        fp_rate_degraded: float = 0.03,
+        localization_sigma: float = 1.0,
+    ) -> None:
+        self.camera = camera
+        self._rng = streams.stream(f"detector.{camera.name}")
+        self.q50 = q50
+        self.slope = slope
+        self.max_tpr = max_tpr
+        self.fp_rate_clear = fp_rate_clear
+        self.fp_rate_degraded = fp_rate_degraded
+        self.localization_sigma = localization_sigma
+        self.true_positives = 0
+        self.false_positives = 0
+        self.misses = 0
+
+    def tpr(self, quality: float) -> float:
+        """True-positive rate at image quality ``quality``.
+
+        A shifted logistic: exactly zero at quality 0 (no fat floor for
+        specks at extreme range), ``max_tpr`` asymptotically.
+        """
+        if quality <= 0.0:
+            return 0.0
+        raw = 1.0 / (1.0 + math.exp(-self.slope * (quality - self.q50)))
+        floor = 1.0 / (1.0 + math.exp(self.slope * self.q50))
+        return self.max_tpr * max(0.0, raw - floor) / (1.0 - floor)
+
+    def fp_probability(self, quality_context: float) -> float:
+        """Per-frame false-positive probability given scene quality."""
+        return self.fp_rate_degraded + (self.fp_rate_clear - self.fp_rate_degraded) * quality_context
+
+    def process_frame(self, now: float, people: List[Entity]) -> List[Detection]:
+        """Run the detector on the current frame.
+
+        Returns detections of real people plus possible false positives.
+        A hijacked or blinded camera yields nothing.
+        """
+        if self.camera.hijacked_by is not None or not self.camera.operational(now):
+            return []
+        detections: List[Detection] = []
+        scene_quality = 1.0
+        for person in people:
+            quality = self.camera.image_quality(now, person)
+            scene_quality = min(scene_quality, max(quality, 0.05))
+            p = self.tpr(quality)
+            if self._rng.random() < p:
+                self.true_positives += 1
+                jitter = Vec2(
+                    self._rng.gauss(0.0, self.localization_sigma),
+                    self._rng.gauss(0.0, self.localization_sigma),
+                )
+                detections.append(
+                    Detection(
+                        time=now,
+                        sensor=self.camera.name,
+                        target=person.name,
+                        confidence=min(1.0, 0.5 + 0.5 * quality + self._rng.gauss(0.0, 0.05)),
+                        estimated_position=person.position + jitter,
+                        data={"quality": quality},
+                    )
+                )
+            elif quality > 0.0:
+                self.misses += 1
+        if self._rng.random() < self.fp_probability(scene_quality):
+            self.false_positives += 1
+            ghost = self.camera.position + Vec2.from_polar(
+                self._rng.uniform(3.0, self.camera.nominal_range),
+                self._rng.uniform(-math.pi, math.pi),
+            )
+            detections.append(
+                Detection(
+                    time=now,
+                    sensor=self.camera.name,
+                    target=None,
+                    confidence=self._rng.uniform(0.4, 0.75),
+                    estimated_position=ghost,
+                    data={"false_positive": True},
+                )
+            )
+        return detections

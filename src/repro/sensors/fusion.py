@@ -1,0 +1,130 @@
+"""Multi-viewpoint track fusion.
+
+The collaborative safety function of Figure 2 fuses people detections from
+the forwarder's own sensors with the drone's camera.  Fusion is per-target
+track maintenance: detections within a gating distance associate to a track;
+track confidence combines independent sources as ``1 - prod(1 - c_i)`` and
+decays exponentially between updates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sensors.detection import Detection
+from repro.sim.geometry import Vec2
+
+
+@dataclass
+class FusedTrack:
+    """A fused track of a (possible) person.
+
+    Attributes
+    ----------
+    track_id:
+        Stable identifier.
+    position:
+        Latest fused position estimate.
+    confidence:
+        Fused confidence in [0, 1].
+    last_update:
+        Time of last associated detection.
+    sources:
+        Sensor names that have contributed.
+    target:
+        Ground-truth identity when any contributing detection had one
+        (evaluation only; the safety function does not read it).
+    """
+
+    track_id: int
+    position: Vec2
+    confidence: float
+    last_update: float
+    sources: List[str] = field(default_factory=list)
+    target: Optional[str] = None
+    updates: int = 0
+
+
+class TrackFusion:
+    """Gated nearest-neighbour fusion with confidence decay.
+
+    Parameters
+    ----------
+    gate_m:
+        Association gate: detections within this distance of a track update it.
+    decay_halflife_s:
+        Track confidence halves after this long without updates.
+    confirm_threshold:
+        Confidence above which a track is *confirmed* (drives safety action).
+    drop_threshold:
+        Confidence below which a stale track is dropped.
+    """
+
+    def __init__(
+        self,
+        *,
+        gate_m: float = 5.0,
+        decay_halflife_s: float = 3.0,
+        confirm_threshold: float = 0.7,
+        drop_threshold: float = 0.05,
+    ) -> None:
+        self.gate_m = gate_m
+        self.decay_halflife_s = decay_halflife_s
+        self.confirm_threshold = confirm_threshold
+        self.drop_threshold = drop_threshold
+        self.tracks: Dict[int, FusedTrack] = {}
+        self._next_id = 1
+
+    def update(self, now: float, detections: List[Detection]) -> List[FusedTrack]:
+        """Fold a batch of detections into the track set; returns live tracks."""
+        self._decay(now)
+        for det in detections:
+            track = self._associate(det)
+            if track is None:
+                track = FusedTrack(
+                    track_id=self._next_id,
+                    position=det.estimated_position,
+                    confidence=det.confidence,
+                    last_update=now,
+                    sources=[det.sensor],
+                    target=det.target,
+                )
+                self._next_id += 1
+                self.tracks[track.track_id] = track
+            else:
+                # independent-evidence combination
+                track.confidence = 1.0 - (1.0 - track.confidence) * (1.0 - det.confidence)
+                track.position = track.position.lerp(det.estimated_position, 0.5)
+                track.last_update = now
+                if det.sensor not in track.sources:
+                    track.sources.append(det.sensor)
+                if track.target is None and det.target is not None:
+                    track.target = det.target
+            track.updates += 1
+        self._prune()
+        return list(self.tracks.values())
+
+    def confirmed_tracks(self) -> List[FusedTrack]:
+        return [t for t in self.tracks.values() if t.confidence >= self.confirm_threshold]
+
+    def _associate(self, det: Detection) -> Optional[FusedTrack]:
+        best, best_dist = None, self.gate_m
+        for track in self.tracks.values():
+            d = track.position.distance_to(det.estimated_position)
+            if d <= best_dist:
+                best, best_dist = track, d
+        return best
+
+    def _decay(self, now: float) -> None:
+        for track in self.tracks.values():
+            dt = now - track.last_update
+            if dt > 0.0:
+                track.confidence *= math.pow(0.5, dt / self.decay_halflife_s)
+                track.last_update = now
+
+    def _prune(self) -> None:
+        stale = [tid for tid, t in self.tracks.items() if t.confidence < self.drop_threshold]
+        for tid in stale:
+            del self.tracks[tid]

@@ -1,0 +1,109 @@
+"""GNSS receiver model with jamming and spoofing responses.
+
+The mining-domain survey the paper leans on (Gaber et al.) names GNSS
+spoofing/jamming as a principal AHS attack class.  The receiver here produces
+position fixes with carrier-to-noise density (C/N0) metadata — the signal
+characteristic that Ren et al.'s defence strategies check — and reacts to
+attack state injected by :mod:`repro.attacks.gnss_attacks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.entities import Entity
+from repro.sim.geometry import Vec2
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class GnssFix:
+    """A position fix.
+
+    Attributes
+    ----------
+    time:
+        Fix timestamp.
+    position:
+        Estimated position (None when no fix is available).
+    cn0_dbhz:
+        Mean carrier-to-noise density across tracked satellites.
+    n_satellites:
+        Number of satellites used.
+    hdop:
+        Horizontal dilution of precision.
+    """
+
+    time: float
+    position: Optional[Vec2]
+    cn0_dbhz: float
+    n_satellites: int
+    hdop: float
+
+    @property
+    def valid(self) -> bool:
+        return self.position is not None
+
+
+class GnssReceiver:
+    """A GNSS receiver mounted on a carrier.
+
+    Nominal behaviour: fixes at the true position plus Gaussian noise, C/N0
+    around 44 dB-Hz with small variance.  Under jamming the effective C/N0
+    drops with jammer power; below the tracking threshold the receiver loses
+    fix.  Under spoofing the reported position is the attacker's choice and —
+    realistically — the spoofer's signal is slightly *stronger* than the
+    authentic one, which is what power-monitoring defences key on.
+    """
+
+    TRACKING_THRESHOLD_DBHZ = 28.0
+
+    def __init__(
+        self,
+        name: str,
+        carrier: Entity,
+        streams: RngStreams,
+        *,
+        noise_sigma_m: float = 0.8,
+        nominal_cn0: float = 44.0,
+    ) -> None:
+        self.name = name
+        self.carrier = carrier
+        self._rng = streams.stream(f"gnss.{name}")
+        self.noise_sigma_m = noise_sigma_m
+        self.nominal_cn0 = nominal_cn0
+        # attack state, driven by repro.attacks.gnss_attacks
+        self.jammer_power_db: float = 0.0
+        self.spoof_offset: Optional[Vec2] = None
+        self.spoof_power_advantage_db: float = 3.0
+        self.fixes_produced = 0
+        self.fixes_lost = 0
+
+    def clear_attacks(self) -> None:
+        self.jammer_power_db = 0.0
+        self.spoof_offset = None
+
+    def fix(self, now: float) -> GnssFix:
+        """Produce the current fix, honouring attack state."""
+        self.fixes_produced += 1
+        if self.spoof_offset is not None:
+            # Spoofed: position is true + attacker offset; C/N0 slightly high.
+            cn0 = self.nominal_cn0 + self.spoof_power_advantage_db + self._rng.gauss(0.0, 0.7)
+            noisy = self._noisy(self.carrier.position + self.spoof_offset)
+            return GnssFix(now, noisy, cn0, n_satellites=9, hdop=0.9)
+        cn0 = self.nominal_cn0 - self.jammer_power_db + self._rng.gauss(0.0, 1.0)
+        if cn0 < self.TRACKING_THRESHOLD_DBHZ:
+            self.fixes_lost += 1
+            return GnssFix(now, None, cn0, n_satellites=0, hdop=99.0)
+        # Partial jamming degrades geometry and noise.
+        degradation = max(0.0, self.jammer_power_db) / 20.0
+        sigma = self.noise_sigma_m * (1.0 + 4.0 * degradation)
+        n_sats = max(4, int(10 - 5 * degradation))
+        hdop = 0.8 + 3.0 * degradation
+        noisy = self._noisy(self.carrier.position, sigma)
+        return GnssFix(now, noisy, cn0, n_satellites=n_sats, hdop=hdop)
+
+    def _noisy(self, p: Vec2, sigma: Optional[float] = None) -> Vec2:
+        s = self.noise_sigma_m if sigma is None else sigma
+        return Vec2(p.x + self._rng.gauss(0.0, s), p.y + self._rng.gauss(0.0, s))

@@ -1,0 +1,143 @@
+"""Minimal 2-D geometry for the worksite: vectors, segments, ray casting.
+
+The worksite is modelled in the horizontal plane; altitude only matters for
+the drone's occlusion advantage and is handled by the occlusion model in
+:mod:`repro.sensors.occlusion`, not here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Vec2:
+    """Immutable 2-D vector / point in metres."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    def dot(self, other: "Vec2") -> float:
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Vec2") -> float:
+        """Z-component of the 3-D cross product (signed area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        return math.hypot(self.x, self.y)
+
+    def norm_sq(self) -> float:
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: "Vec2") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def normalized(self) -> "Vec2":
+        n = self.norm()
+        if n == 0.0:
+            raise ValueError("cannot normalize the zero vector")
+        return Vec2(self.x / n, self.y / n)
+
+    def heading(self) -> float:
+        """Angle of the vector in radians, in (-pi, pi]."""
+        return math.atan2(self.y, self.x)
+
+    def rotated(self, angle: float) -> "Vec2":
+        c, s = math.cos(angle), math.sin(angle)
+        return Vec2(self.x * c - self.y * s, self.x * s + self.y * c)
+
+    def lerp(self, other: "Vec2", t: float) -> "Vec2":
+        return Vec2(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+
+    @staticmethod
+    def from_polar(radius: float, angle: float) -> "Vec2":
+        return Vec2(radius * math.cos(angle), radius * math.sin(angle))
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A line segment between two points."""
+
+    a: Vec2
+    b: Vec2
+
+    def length(self) -> float:
+        return self.a.distance_to(self.b)
+
+    def point_at(self, t: float) -> Vec2:
+        """Point at parameter ``t`` in [0, 1] along the segment."""
+        return self.a.lerp(self.b, t)
+
+    def distance_to_point(self, p: Vec2) -> float:
+        """Shortest distance from ``p`` to the segment."""
+        ab = self.b - self.a
+        denom = ab.norm_sq()
+        if denom == 0.0:
+            return self.a.distance_to(p)
+        t = max(0.0, min(1.0, (p - self.a).dot(ab) / denom))
+        return self.point_at(t).distance_to(p)
+
+    def intersects_circle(self, center: Vec2, radius: float) -> bool:
+        """True if the segment passes within ``radius`` of ``center``."""
+        return self.distance_to_point(center) <= radius
+
+    def circle_intersection_params(
+        self, center: Vec2, radius: float
+    ) -> Optional[Tuple[float, float]]:
+        """Parameters ``(t0, t1)`` where the segment enters/leaves the circle.
+
+        Returns None when the infinite line misses the circle or the overlap
+        falls entirely outside [0, 1].
+        """
+        d = self.b - self.a
+        f = self.a - center
+        a = d.norm_sq()
+        if a == 0.0:
+            return (0.0, 1.0) if f.norm() <= radius else None
+        b = 2.0 * f.dot(d)
+        c = f.norm_sq() - radius * radius
+        disc = b * b - 4.0 * a * c
+        if disc < 0.0:
+            return None
+        sqrt_disc = math.sqrt(disc)
+        t0 = (-b - sqrt_disc) / (2.0 * a)
+        t1 = (-b + sqrt_disc) / (2.0 * a)
+        lo, hi = max(t0, 0.0), min(t1, 1.0)
+        if lo > hi:
+            return None
+        return (lo, hi)
+
+
+def angle_difference(a: float, b: float) -> float:
+    """Smallest signed difference ``a - b`` wrapped into (-pi, pi]."""
+    diff = (a - b) % (2.0 * math.pi)
+    if diff > math.pi:
+        diff -= 2.0 * math.pi
+    return diff
+
+
+def bounding_box(points: Iterable[Vec2]) -> Tuple[Vec2, Vec2]:
+    """Axis-aligned bounding box ``(min_corner, max_corner)`` of ``points``."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("bounding_box of an empty point set")
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
+    return Vec2(min(xs), min(ys)), Vec2(max(xs), max(ys))

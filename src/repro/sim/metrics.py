@@ -1,0 +1,86 @@
+"""Time-series metric collection for simulation runs.
+
+Components record named counters and sampled series through a single
+:class:`MetricsCollector`; the experiment harness summarises them afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class SeriesSummary:
+    """Summary statistics of a sampled series."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    std: float
+
+    @staticmethod
+    def of(values: List[float]) -> "SeriesSummary":
+        if not values:
+            return SeriesSummary(0, 0.0, 0.0, 0.0, 0.0)
+        n = len(values)
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / n
+        return SeriesSummary(n, mean, min(values), max(values), math.sqrt(var))
+
+
+class MetricsCollector:
+    """Named counters, gauges and timestamped series."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._series: Dict[str, List[Tuple[float, float]]] = {}
+        self._gauges: Dict[str, float] = {}
+
+    # -- counters ---------------------------------------------------------
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    # -- gauges -----------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    # -- series -----------------------------------------------------------
+    def sample(self, name: str, time: float, value: float) -> None:
+        self._series.setdefault(name, []).append((time, value))
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        return list(self._series.get(name, ()))
+
+    def series_values(self, name: str) -> List[float]:
+        return [v for _, v in self._series.get(name, ())]
+
+    def summarize(self, name: str) -> SeriesSummary:
+        return SeriesSummary.of(self.series_values(name))
+
+    def ratio(self, numerator: str, denominator: str) -> Optional[float]:
+        """Counter ratio, or None when the denominator is zero."""
+        denom = self.counter(denominator)
+        if denom == 0.0:
+            return None
+        return self.counter(numerator) / denom
+
+    def merge(self, other: "MetricsCollector") -> None:
+        """Fold another collector's counters and series into this one."""
+        for name, value in other._counters.items():
+            self.increment(name, value)
+        for name, points in other._series.items():
+            self._series.setdefault(name, []).extend(points)
+        self._gauges.update(other._gauges)

@@ -1,0 +1,158 @@
+"""Weather dynamics for the worksite.
+
+Section III-D of the paper stresses that environmental conditions (rain, fog,
+snow, lighting) degrade sensing and must be covered by simulation.  Weather is
+modelled as a continuous-time Markov chain over discrete states, each state
+carrying continuous intensity attributes that the sensor degradation models
+consume (:mod:`repro.sensors.degradation`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+class WeatherState(enum.Enum):
+    """Discrete weather regimes."""
+
+    CLEAR = "clear"
+    OVERCAST = "overcast"
+    RAIN = "rain"
+    HEAVY_RAIN = "heavy_rain"
+    FOG = "fog"
+    SNOW = "snow"
+
+
+@dataclass(frozen=True)
+class WeatherConditions:
+    """Continuous attributes of the current weather.
+
+    Attributes
+    ----------
+    precipitation:
+        Rain/snow intensity in [0, 1].
+    visibility:
+        Optical visibility fraction in (0, 1]; 1 is perfectly clear.
+    light_level:
+        Ambient light in [0, 1]; affected by overcast skies and time of day.
+    wind_speed:
+        Metres per second; affects drone stability and endurance.
+    """
+
+    precipitation: float
+    visibility: float
+    light_level: float
+    wind_speed: float
+
+
+_BASE_CONDITIONS: Dict[WeatherState, WeatherConditions] = {
+    WeatherState.CLEAR: WeatherConditions(0.0, 1.0, 1.0, 2.0),
+    WeatherState.OVERCAST: WeatherConditions(0.0, 0.9, 0.7, 4.0),
+    WeatherState.RAIN: WeatherConditions(0.4, 0.7, 0.55, 6.0),
+    WeatherState.HEAVY_RAIN: WeatherConditions(0.9, 0.4, 0.4, 10.0),
+    WeatherState.FOG: WeatherConditions(0.05, 0.25, 0.6, 1.0),
+    WeatherState.SNOW: WeatherConditions(0.6, 0.5, 0.75, 5.0),
+}
+
+# Transition weights of the embedded jump chain.  Rows need not be normalised.
+_TRANSITIONS: Dict[WeatherState, Dict[WeatherState, float]] = {
+    WeatherState.CLEAR: {WeatherState.OVERCAST: 0.7, WeatherState.FOG: 0.3},
+    WeatherState.OVERCAST: {
+        WeatherState.CLEAR: 0.4,
+        WeatherState.RAIN: 0.4,
+        WeatherState.SNOW: 0.1,
+        WeatherState.FOG: 0.1,
+    },
+    WeatherState.RAIN: {
+        WeatherState.OVERCAST: 0.5,
+        WeatherState.HEAVY_RAIN: 0.3,
+        WeatherState.CLEAR: 0.2,
+    },
+    WeatherState.HEAVY_RAIN: {WeatherState.RAIN: 0.8, WeatherState.OVERCAST: 0.2},
+    WeatherState.FOG: {WeatherState.CLEAR: 0.5, WeatherState.OVERCAST: 0.5},
+    WeatherState.SNOW: {WeatherState.OVERCAST: 0.7, WeatherState.CLEAR: 0.3},
+}
+
+
+class Weather:
+    """A weather process driven by the simulation clock.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose clock drives transitions.
+    streams:
+        RNG stream factory (uses the ``"weather"`` stream).
+    mean_dwell_s:
+        Mean sojourn time in a state (exponentially distributed).
+    initial:
+        Starting regime.
+    frozen:
+        If True, the weather never transitions (useful for controlled
+        experiments isolating a single condition).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RngStreams,
+        *,
+        mean_dwell_s: float = 1800.0,
+        initial: WeatherState = WeatherState.CLEAR,
+        frozen: bool = False,
+    ) -> None:
+        self._sim = sim
+        self._rng = streams.stream("weather")
+        self.mean_dwell_s = mean_dwell_s
+        self.state = initial
+        self.frozen = frozen
+        self._listeners: List[Callable[[WeatherState], None]] = []
+        self.history: List[tuple] = [(sim.now, initial)]
+        if not frozen:
+            self._schedule_next()
+
+    def subscribe(self, listener: Callable[[WeatherState], None]) -> None:
+        """Register a callback invoked on every state change."""
+        self._listeners.append(listener)
+
+    def conditions(self) -> WeatherConditions:
+        """Current continuous conditions."""
+        return _BASE_CONDITIONS[self.state]
+
+    def force_state(self, state: WeatherState) -> None:
+        """Force a regime change immediately (experiment control)."""
+        self._set_state(state)
+
+    def _schedule_next(self) -> None:
+        dwell = self._rng.expovariate(1.0 / self.mean_dwell_s)
+        self._sim.schedule(dwell, self._transition)
+
+    def _transition(self) -> None:
+        if self.frozen:
+            return
+        weights = _TRANSITIONS[self.state]
+        states = list(weights)
+        total = sum(weights.values())
+        draw = self._rng.uniform(0.0, total)
+        acc = 0.0
+        chosen: Optional[WeatherState] = states[-1]
+        for state in states:
+            acc += weights[state]
+            if draw <= acc:
+                chosen = state
+                break
+        self._set_state(chosen)
+        self._schedule_next()
+
+    def _set_state(self, state: WeatherState) -> None:
+        if state is self.state:
+            return
+        self.state = state
+        self.history.append((self._sim.now, state))
+        for listener in self._listeners:
+            listener(state)

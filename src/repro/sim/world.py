@@ -1,0 +1,240 @@
+"""The forestry worksite world: trees, zones, obstacles, line of sight.
+
+This is the substrate for the paper's Figure 1: an area of forest containing a
+harvesting site, a landing area connected by an extraction route, standing
+trees that occlude sensors and block paths, and named operational zones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.geometry import Segment, Vec2
+from repro.sim.rng import RngStreams
+from repro.sim.terrain import Terrain, generate_terrain
+
+
+@dataclass(frozen=True)
+class Tree:
+    """A standing tree: a vertical cylinder that occludes and obstructs."""
+
+    position: Vec2
+    canopy_radius: float = 2.0
+    trunk_radius: float = 0.3
+    height: float = 18.0
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A named rectangular operational zone (harvest site, landing area, ...)."""
+
+    name: str
+    min_corner: Vec2
+    max_corner: Vec2
+
+    def contains(self, p: Vec2) -> bool:
+        return (
+            self.min_corner.x <= p.x <= self.max_corner.x
+            and self.min_corner.y <= p.y <= self.max_corner.y
+        )
+
+    def center(self) -> Vec2:
+        return Vec2(
+            (self.min_corner.x + self.max_corner.x) / 2.0,
+            (self.min_corner.y + self.max_corner.y) / 2.0,
+        )
+
+    def area(self) -> float:
+        return (self.max_corner.x - self.min_corner.x) * (
+            self.max_corner.y - self.min_corner.y
+        )
+
+
+class World:
+    """The worksite: terrain + trees + zones, with spatial queries.
+
+    Trees are indexed in a coarse uniform hash grid so line-of-sight and
+    obstruction queries stay fast for thousands of trees.
+    """
+
+    _CELL = 10.0  # metres; coarse grid cell for the tree index
+
+    def __init__(
+        self,
+        terrain: Terrain,
+        trees: Optional[Sequence[Tree]] = None,
+        zones: Optional[Sequence[Zone]] = None,
+    ) -> None:
+        self.terrain = terrain
+        self.trees: List[Tree] = []
+        self.zones: Dict[str, Zone] = {}
+        self._grid: Dict[Tuple[int, int], List[Tree]] = {}
+        for tree in trees or []:
+            self.add_tree(tree)
+        for zone in zones or []:
+            self.add_zone(zone)
+
+    @property
+    def width(self) -> float:
+        return self.terrain.width
+
+    @property
+    def height(self) -> float:
+        return self.terrain.height
+
+    def add_tree(self, tree: Tree) -> None:
+        self.trees.append(tree)
+        self._grid.setdefault(self._cell(tree.position), []).append(tree)
+
+    def add_zone(self, zone: Zone) -> None:
+        if zone.name in self.zones:
+            raise ValueError(f"duplicate zone name: {zone.name!r}")
+        self.zones[zone.name] = zone
+
+    def zone(self, name: str) -> Zone:
+        return self.zones[name]
+
+    def _cell(self, p: Vec2) -> Tuple[int, int]:
+        return (int(p.x // self._CELL), int(p.y // self._CELL))
+
+    def _cells_along(self, seg: Segment, pad: float) -> Iterable[Tuple[int, int]]:
+        """Grid cells overlapping the segment's padded bounding box."""
+        min_x = min(seg.a.x, seg.b.x) - pad
+        max_x = max(seg.a.x, seg.b.x) + pad
+        min_y = min(seg.a.y, seg.b.y) - pad
+        max_y = max(seg.a.y, seg.b.y) + pad
+        for cx in range(int(min_x // self._CELL), int(max_x // self._CELL) + 1):
+            for cy in range(int(min_y // self._CELL), int(max_y // self._CELL) + 1):
+                yield (cx, cy)
+
+    def trees_near_segment(self, seg: Segment, pad: float = 5.0) -> List[Tree]:
+        """Candidate trees whose cells overlap the segment's bounding box."""
+        found: List[Tree] = []
+        seen = set()
+        for cell in self._cells_along(seg, pad):
+            for tree in self._grid.get(cell, ()):
+                key = id(tree)
+                if key not in seen:
+                    seen.add(key)
+                    found.append(tree)
+        return found
+
+    def trees_within(self, center: Vec2, radius: float) -> List[Tree]:
+        """Trees whose position lies within ``radius`` of ``center``."""
+        found = []
+        cells_x = range(
+            int((center.x - radius) // self._CELL),
+            int((center.x + radius) // self._CELL) + 1,
+        )
+        cells_y = range(
+            int((center.y - radius) // self._CELL),
+            int((center.y + radius) // self._CELL) + 1,
+        )
+        for cx in cells_x:
+            for cy in cells_y:
+                for tree in self._grid.get((cx, cy), ()):
+                    if tree.position.distance_to(center) <= radius:
+                        found.append(tree)
+        return found
+
+    def canopy_blockage(self, observer: Vec2, target: Vec2) -> float:
+        """Total canopy path length (metres) intersected by the sight line.
+
+        Used by ground-level sensors: each metre of canopy attenuates
+        detection probability.  A drone looking down suffers far less canopy
+        blockage, which is modelled by the occlusion layer in
+        :mod:`repro.sensors.occlusion`.
+        """
+        seg = Segment(observer, target)
+        total = 0.0
+        length = seg.length()
+        if length == 0.0:
+            return 0.0
+        for tree in self.trees_near_segment(seg):
+            params = seg.circle_intersection_params(tree.position, tree.canopy_radius)
+            if params is not None:
+                total += (params[1] - params[0]) * length
+        return total
+
+    def trunk_blocks(self, observer: Vec2, target: Vec2) -> bool:
+        """True if a trunk lies directly on the sight line."""
+        seg = Segment(observer, target)
+        for tree in self.trees_near_segment(seg, pad=1.0):
+            # Do not let the endpoints' own immediate surroundings count.
+            if tree.position.distance_to(observer) < tree.trunk_radius + 0.1:
+                continue
+            if tree.position.distance_to(target) < tree.trunk_radius + 0.1:
+                continue
+            if seg.intersects_circle(tree.position, tree.trunk_radius):
+                return True
+        return False
+
+    def terrain_blocks(
+        self,
+        observer: Vec2,
+        observer_height: float,
+        target: Vec2,
+        target_height: float,
+    ) -> bool:
+        """True if terrain blocks the 3-D sight line."""
+        return self.terrain.blocks_line_of_sight(
+            observer, observer_height, target, target_height
+        )
+
+    def is_traversable(self, p: Vec2, clearance: float = 1.5) -> bool:
+        """True if a ground vehicle can occupy ``p``.
+
+        A position is blocked by nearby trunks or by excessive slope.
+        """
+        if not self.terrain.contains(p):
+            return False
+        if self.terrain.slope_at(p) > 0.45:
+            return False
+        for tree in self.trees_within(p, clearance + 1.0):
+            if tree.position.distance_to(p) < tree.trunk_radius + clearance:
+                return False
+        return True
+
+
+def generate_forest(
+    streams: RngStreams,
+    *,
+    width: float = 300.0,
+    height: float = 300.0,
+    tree_density: float = 0.02,
+    clearings: Optional[Sequence[Zone]] = None,
+    n_ridges: int = 4,
+    ridge_height: float = 6.0,
+) -> World:
+    """Generate a deterministic forest worksite.
+
+    Parameters
+    ----------
+    tree_density:
+        Trees per square metre outside clearings (0.02 ≈ managed boreal stand).
+    clearings:
+        Zones kept free of trees (harvest site, landing area, routes).
+    """
+    terrain = generate_terrain(
+        width, height, streams, n_ridges=n_ridges, ridge_height=ridge_height
+    )
+    rng = streams.stream("forest")
+    clearings = list(clearings or [])
+    n_trees = int(width * height * tree_density)
+    trees = []
+    attempts = 0
+    while len(trees) < n_trees and attempts < n_trees * 10:
+        attempts += 1
+        p = Vec2(rng.uniform(0.0, width), rng.uniform(0.0, height))
+        if any(zone.contains(p) for zone in clearings):
+            continue
+        canopy = rng.uniform(1.5, 3.5)
+        trunk = rng.uniform(0.15, 0.45)
+        tall = rng.uniform(12.0, 26.0)
+        trees.append(
+            Tree(position=p, canopy_radius=canopy, trunk_radius=trunk, height=tall)
+        )
+    world = World(terrain, trees=trees, zones=clearings)
+    return world

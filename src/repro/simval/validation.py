@@ -1,0 +1,109 @@
+"""The validation procedure: observables, tolerances, verdicts.
+
+Per observable, the procedure compares the simulation's sample against the
+reference sample with all three divergences and checks declared tolerances.
+A simulation is *valid for purpose* when every observable passes — the
+systematic component-wise validation Section III-D calls for (virtual
+sensor, environmental factors, movement patterns, each separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.simval.metrics import kl_divergence, ks_statistic, wasserstein
+
+
+@dataclass(frozen=True)
+class ObservableSpec:
+    """Declared tolerance for one observable.
+
+    Attributes
+    ----------
+    name:
+        Observable name (e.g. ``"detection_range_m"``).
+    max_ks:
+        Maximum accepted KS statistic.
+    max_wasserstein:
+        Maximum accepted Wasserstein-1 distance (observable units).
+    max_kl:
+        Maximum accepted histogram KL divergence.
+    """
+
+    name: str
+    max_ks: float = 0.25
+    max_wasserstein: float = 8.0
+    max_kl: float = 1.0
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Verdict for one observable."""
+
+    name: str
+    ks: float
+    ks_pvalue: float
+    wasserstein: float
+    kl: float
+    passed: bool
+    reasons: tuple = ()
+
+
+@dataclass
+class ValidationReport:
+    """The full validation report."""
+
+    results: List[ValidationResult] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def failed(self) -> List[ValidationResult]:
+        return [r for r in self.results if not r.passed]
+
+    def worst_observable(self) -> Optional[ValidationResult]:
+        if not self.results:
+            return None
+        return max(self.results, key=lambda r: r.ks)
+
+
+def validate_observables(
+    sim_samples: Dict[str, Sequence[float]],
+    reference_samples: Dict[str, Sequence[float]],
+    specs: Sequence[ObservableSpec],
+) -> ValidationReport:
+    """Run the comparison for every declared observable.
+
+    Raises
+    ------
+    KeyError
+        When a spec names an observable missing from either sample set.
+    """
+    report = ValidationReport()
+    for spec in specs:
+        sim = list(sim_samples[spec.name])
+        ref = list(reference_samples[spec.name])
+        ks, p = ks_statistic(sim, ref)
+        w = wasserstein(sim, ref)
+        kl = kl_divergence(sim, ref)
+        reasons = []
+        if ks > spec.max_ks:
+            reasons.append(f"KS {ks:.3f} > {spec.max_ks}")
+        if w > spec.max_wasserstein:
+            reasons.append(f"W1 {w:.2f} > {spec.max_wasserstein}")
+        if kl > spec.max_kl:
+            reasons.append(f"KL {kl:.2f} > {spec.max_kl}")
+        report.results.append(
+            ValidationResult(
+                name=spec.name,
+                ks=ks,
+                ks_pvalue=p,
+                wasserstein=w,
+                kl=kl,
+                passed=not reasons,
+                reasons=tuple(reasons),
+            )
+        )
+    return report

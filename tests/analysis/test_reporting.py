@@ -1,0 +1,58 @@
+"""Tests for the experiment-report generator."""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentRecord, ExperimentReport
+from repro.analysis.tables import Table
+
+
+class TestExperimentRecord:
+    def _record(self):
+        return ExperimentRecord(
+            experiment_id="E-X1", paper_anchor="Figure 9",
+            claim="something holds",
+        )
+
+    def test_verdict_not_evaluated(self):
+        assert self._record().verdict == "NOT EVALUATED"
+
+    def test_verdict_reproduced(self):
+        record = self._record().check("a", True).check("b", True)
+        assert record.verdict == "REPRODUCED"
+
+    def test_verdict_diverged(self):
+        record = self._record().check("a", True).check("b", False)
+        assert record.verdict == "DIVERGED"
+
+    def test_markdown_contains_everything(self):
+        table = Table(["k", "v"])
+        table.add_row("x", 1)
+        record = self._record()
+        record.tables.append(table)
+        record.note("a note").check("the shape holds", True)
+        md = record.to_markdown()
+        assert "### E-X1 — Figure 9" in md
+        assert "something holds" in md
+        assert "a note" in md
+        assert "- [x] the shape holds" in md
+        assert "REPRODUCED" in md
+
+
+class TestExperimentReport:
+    def test_record_idempotent(self):
+        report = ExperimentReport("t")
+        a = report.record("E-1", "Fig 1", "c")
+        b = report.record("E-1", "Fig 1", "c")
+        assert a is b
+        assert len(report.records) == 1
+
+    def test_summary_and_write(self, tmp_path):
+        report = ExperimentReport("Repro", preamble="intro")
+        report.record("E-1", "Fig 1", "c1").check("ok", True)
+        report.record("E-2", "Tab 1", "c2").check("bad", False)
+        path = report.write(tmp_path / "EXP.md")
+        text = path.read_text()
+        assert "# Repro" in text
+        assert "intro" in text
+        assert "REPRODUCED" in text
+        assert "DIVERGED" in text

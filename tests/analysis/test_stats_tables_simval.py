@@ -1,0 +1,183 @@
+"""Unit tests for statistics helpers, table rendering and simval."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    mean,
+    median,
+    percentile,
+    std,
+    summarize,
+)
+from repro.analysis.tables import Table
+from repro.simval.metrics import kl_divergence, ks_statistic, wasserstein
+from repro.simval.reference import (
+    ReferenceModel,
+    reference_detection_samples,
+    reference_gnss_errors,
+    reference_quality_curve,
+)
+from repro.simval.validation import ObservableSpec, validate_observables
+
+
+class TestStats:
+    def test_mean_median(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+        assert median([1, 3, 2]) == 2.0
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_std(self):
+        assert std([2, 2, 2]) == 0.0
+        assert std([0, 2]) == 1.0
+
+    def test_percentile(self):
+        values = list(range(101))
+        assert percentile(values, 0) == 0
+        assert percentile(values, 50) == 50
+        assert percentile(values, 100) == 100
+        with pytest.raises(ValueError):
+            percentile(values, 150)
+
+    def test_bootstrap_ci_contains_mean(self):
+        values = [10.0 + (i % 7) for i in range(50)]
+        low, high = bootstrap_ci(values, seed=1)
+        assert low <= mean(values) <= high
+
+    def test_bootstrap_ci_deterministic(self):
+        values = [1.0, 5.0, 3.0, 8.0]
+        assert bootstrap_ci(values, seed=2) == bootstrap_ci(values, seed=2)
+
+    def test_bootstrap_edge_cases(self):
+        assert bootstrap_ci([]) == (0.0, 0.0)
+        assert bootstrap_ci([7.0]) == (7.0, 7.0)
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.n == 3
+        assert summary.mean == 2.0
+        assert summary.ci_low <= 2.0 <= summary.ci_high
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["name", "value"], title="T")
+        table.add_row("alpha", 1.5)
+        table.add_row("b", 12345.678)
+        text = table.render()
+        lines = text.splitlines()
+        assert "T" in lines[0]
+        assert "name" in text and "alpha" in text
+        assert "12,346" in text  # thousands formatting
+
+    def test_cell_count_enforced(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_formatting_rules(self):
+        table = Table(["x"])
+        table.add_row(None)
+        table.add_row(True)
+        table.add_row(0.12345)
+        text = table.render()
+        assert "-" in text
+        assert "yes" in text
+        assert "0.123" in text
+
+
+class TestSimvalMetrics:
+    def test_identical_samples_zero_divergence(self):
+        sample = [float(i) for i in range(100)]
+        ks, p = ks_statistic(sample, sample)
+        assert ks == 0.0
+        assert p == pytest.approx(1.0)
+        assert wasserstein(sample, sample) == 0.0
+        assert kl_divergence(sample, sample) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shifted_samples_positive_divergence(self):
+        a = [float(i) for i in range(100)]
+        b = [float(i) + 50.0 for i in range(100)]
+        ks, _ = ks_statistic(a, b)
+        assert ks > 0.4
+        assert wasserstein(a, b) == pytest.approx(50.0, rel=0.05)
+        assert kl_divergence(a, b) > 0.5
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], [1.0])
+        with pytest.raises(ValueError):
+            wasserstein([1.0], [])
+        with pytest.raises(ValueError):
+            kl_divergence([], [])
+
+    def test_constant_samples(self):
+        assert kl_divergence([5.0] * 10, [5.0] * 10) == 0.0
+
+
+class TestReference:
+    def test_detection_samples_plausible(self):
+        model = ReferenceModel()
+        samples = reference_detection_samples(model, 500)
+        assert len(samples) == 500
+        assert 20.0 < mean(samples) < 45.0
+        assert all(s > 0 for s in samples)
+
+    def test_gnss_errors_have_outlier_tail(self):
+        model = ReferenceModel(multipath_rate=0.2)
+        errors = reference_gnss_errors(model, 1000)
+        assert max(errors) > 3.0 * mean(errors)
+
+    def test_quality_curve_monotone_on_average(self):
+        model = ReferenceModel()
+        near = mean(reference_quality_curve(model, [5.0] * 100))
+        far = mean(reference_quality_curve(model, [80.0] * 100))
+        assert near > far
+
+    def test_deterministic(self):
+        model = ReferenceModel()
+        assert reference_detection_samples(model, 10, seed=3) == \
+            reference_detection_samples(model, 10, seed=3)
+
+
+class TestValidation:
+    def test_matching_distributions_pass(self):
+        model = ReferenceModel()
+        ref = reference_detection_samples(model, 400, seed=0)
+        sim = reference_detection_samples(model, 400, seed=99)
+        report = validate_observables(
+            {"d": sim}, {"d": ref}, [ObservableSpec("d")],
+        )
+        assert report.valid
+
+    def test_diverging_distributions_fail_with_reasons(self):
+        model = ReferenceModel()
+        bad_model = ReferenceModel(detection_range_mean=90.0)
+        ref = reference_detection_samples(model, 400, seed=0)
+        sim = reference_detection_samples(bad_model, 400, seed=99)
+        report = validate_observables(
+            {"d": sim}, {"d": ref}, [ObservableSpec("d")],
+        )
+        assert not report.valid
+        assert report.failed()[0].reasons
+
+    def test_missing_observable_raises(self):
+        with pytest.raises(KeyError):
+            validate_observables({}, {"d": [1.0]}, [ObservableSpec("d")])
+
+    def test_worst_observable(self):
+        model = ReferenceModel()
+        ref = reference_detection_samples(model, 200, seed=0)
+        close = reference_detection_samples(model, 200, seed=5)
+        far = reference_detection_samples(
+            ReferenceModel(detection_range_mean=80.0), 200, seed=6
+        )
+        report = validate_observables(
+            {"good": close, "bad": far},
+            {"good": ref, "bad": ref},
+            [ObservableSpec("good"), ObservableSpec("bad")],
+        )
+        assert report.worst_observable().name == "bad"

@@ -1,0 +1,165 @@
+"""Unit tests for GSN graphs and CAE trees."""
+
+import pytest
+
+from repro.assurance.cae import CaeError, CaeKind, CaeNode, CaeTree
+from repro.assurance.gsn import GsnElement, GsnError, GsnGraph, GsnKind
+
+
+def goal(eid, text="g", **kwargs):
+    return GsnElement(eid, GsnKind.GOAL, text, **kwargs)
+
+
+def strategy(eid, text="s"):
+    return GsnElement(eid, GsnKind.STRATEGY, text)
+
+
+def solution(eid, text="sol", evidence="ev-1"):
+    return GsnElement(eid, GsnKind.SOLUTION, text, evidence_ref=evidence)
+
+
+class TestGsnConstruction:
+    def test_root_must_be_goal(self):
+        with pytest.raises(GsnError):
+            GsnGraph(strategy("S1"))
+
+    def test_duplicate_ids_rejected(self):
+        graph = GsnGraph(goal("G1"))
+        with pytest.raises(GsnError):
+            graph.add(goal("G1"))
+
+    def test_well_formed_minimal_case(self):
+        graph = GsnGraph(goal("G1"))
+        graph.add(strategy("S1"))
+        graph.add(goal("G2"))
+        graph.add(solution("Sn1"))
+        graph.supported_by("G1", "S1")
+        graph.supported_by("S1", "G2")
+        graph.supported_by("G2", "Sn1")
+        assert graph.check() == []
+        assert graph.coverage() == 1.0
+
+    def test_solution_cannot_be_supported(self):
+        graph = GsnGraph(goal("G1"))
+        graph.add(solution("Sn1"))
+        graph.add(goal("G2"))
+        graph.supported_by("G1", "Sn1")
+        with pytest.raises(GsnError):
+            graph.supported_by("Sn1", "G2")
+
+    def test_strategy_only_supported_by_goals(self):
+        graph = GsnGraph(goal("G1"))
+        graph.add(strategy("S1"))
+        graph.add(strategy("S2"))
+        graph.supported_by("G1", "S1")
+        with pytest.raises(GsnError):
+            graph.supported_by("S1", "S2")
+
+    def test_context_attachment(self):
+        graph = GsnGraph(goal("G1"))
+        graph.add(GsnElement("C1", GsnKind.CONTEXT, "context"))
+        graph.in_context_of("G1", "C1")
+        assert graph.contexts("G1")[0].element_id == "C1"
+
+    def test_context_cannot_be_supported_by(self):
+        graph = GsnGraph(goal("G1"))
+        graph.add(GsnElement("C1", GsnKind.CONTEXT, "context"))
+        with pytest.raises(GsnError):
+            graph.supported_by("G1", "C1")
+
+    def test_cycle_rejected(self):
+        graph = GsnGraph(goal("G1"))
+        graph.add(goal("G2"))
+        graph.supported_by("G1", "G2")
+        with pytest.raises(GsnError, match="cycle"):
+            graph.supported_by("G2", "G1")
+
+    def test_unknown_element_rejected(self):
+        graph = GsnGraph(goal("G1"))
+        with pytest.raises(GsnError):
+            graph.supported_by("G1", "ghost")
+
+
+class TestGsnChecks:
+    def test_unsupported_goal_flagged(self):
+        graph = GsnGraph(goal("G1"))
+        findings = graph.check()
+        assert any("unsupported" in f for f in findings)
+
+    def test_undeveloped_marker_accepted(self):
+        graph = GsnGraph(goal("G1", undeveloped=True))
+        assert graph.check() == []
+
+    def test_solution_without_evidence_flagged(self):
+        graph = GsnGraph(goal("G1"))
+        graph.add(GsnElement("Sn1", GsnKind.SOLUTION, "s", evidence_ref=None))
+        graph.supported_by("G1", "Sn1")
+        assert any("no evidence" in f for f in graph.check())
+
+    def test_unreachable_element_flagged(self):
+        graph = GsnGraph(goal("G1", undeveloped=True))
+        graph.add(goal("G-orphan", undeveloped=True))
+        assert any("unreachable" in f for f in graph.check())
+
+    def test_coverage_partial(self):
+        graph = GsnGraph(goal("G1"))
+        graph.add(goal("G2"))
+        graph.add(goal("G3", undeveloped=True))
+        graph.add(solution("Sn1"))
+        graph.supported_by("G1", "G2")
+        graph.supported_by("G1", "G3")
+        graph.supported_by("G2", "Sn1")
+        # G2 grounded; G1 not (G3 dangles); G3 not
+        assert graph.coverage() == pytest.approx(1 / 3)
+
+
+class TestCae:
+    def test_grammar_claim_needs_argument(self):
+        claim = CaeNode("C1", CaeKind.CLAIM, "claim")
+        with pytest.raises(CaeError):
+            claim.add(CaeNode("E1", CaeKind.EVIDENCE, "ev"))
+
+    def test_argument_cannot_support_argument(self):
+        argument = CaeNode("A1", CaeKind.ARGUMENT, "arg")
+        with pytest.raises(CaeError):
+            argument.add(CaeNode("A2", CaeKind.ARGUMENT, "arg2"))
+
+    def test_evidence_is_leaf(self):
+        evidence = CaeNode("E1", CaeKind.EVIDENCE, "ev")
+        with pytest.raises(CaeError):
+            evidence.add(CaeNode("C1", CaeKind.CLAIM, "c"))
+
+    def test_root_must_be_claim(self):
+        with pytest.raises(CaeError):
+            CaeTree(CaeNode("A1", CaeKind.ARGUMENT, "a"))
+
+    def _tree(self):
+        root = CaeNode("C1", CaeKind.CLAIM, "top claim")
+        argument = root.add(CaeNode("A1", CaeKind.ARGUMENT, "by cases"))
+        sub = argument.add(CaeNode("C2", CaeKind.CLAIM, "sub claim"))
+        sub_argument = sub.add(CaeNode("A2", CaeKind.ARGUMENT, "by test"))
+        sub_argument.add(
+            CaeNode("E1", CaeKind.EVIDENCE, "test result", evidence_ref="ev-1")
+        )
+        return CaeTree(root)
+
+    def test_check_well_formed(self):
+        assert self._tree().check() == []
+
+    def test_check_flags_unsupported_claim(self):
+        tree = CaeTree(CaeNode("C1", CaeKind.CLAIM, "bare"))
+        assert any("unsupported" in f for f in tree.check())
+
+    def test_gsn_roundtrip_preserves_structure(self):
+        tree = self._tree()
+        graph = tree.to_gsn()
+        assert graph.check() == []
+        back = CaeTree.from_gsn(graph)
+        assert {n.node_id for n in back.nodes()} == {n.node_id for n in tree.nodes()}
+        assert back.check() == []
+
+    def test_to_gsn_kind_mapping(self):
+        graph = self._tree().to_gsn()
+        assert graph.elements["A1"].kind is GsnKind.STRATEGY
+        assert graph.elements["E1"].kind is GsnKind.SOLUTION
+        assert graph.elements["E1"].evidence_ref == "ev-1"

@@ -1,0 +1,108 @@
+"""Direct unit tests for the GSN argument patterns and the sensor base."""
+
+import pytest
+
+from repro.assurance.gsn import GsnElement, GsnGraph, GsnKind
+from repro.assurance.patterns import (
+    asset_security_pattern,
+    compliance_pattern,
+    interplay_pattern,
+    treatment_pattern,
+)
+from repro.sensors.base import Observation, Sensor
+from repro.sim.entities import Entity
+from repro.sim.geometry import Vec2
+
+
+@pytest.fixture
+def graph():
+    return GsnGraph(GsnElement("G-top", GsnKind.GOAL, "top", undeveloped=False))
+
+
+class TestAssetPattern:
+    def test_creates_goal_strategy_and_threat_goals(self, graph):
+        threat_goals = asset_security_pattern(
+            graph, "G-top", "ch-x", "the link", ["TS-1", "TS-2"],
+        )
+        assert threat_goals == ["G-ch-x-TS-1", "G-ch-x-TS-2"]
+        assert graph.elements["G-ch-x"].kind is GsnKind.GOAL
+        assert graph.elements["S-ch-x"].kind is GsnKind.STRATEGY
+        assert len(graph.children("S-ch-x")) == 2
+
+    def test_treatment_attaches_evidence(self, graph):
+        goals = asset_security_pattern(graph, "G-top", "a", "asset", ["TS-1"])
+        treatment_pattern(graph, goals[0], "TS-1", "reduce",
+                          ["secure_channel_aead"], ["ev-1", "ev-2"])
+        residual = graph.elements[f"{goals[0]}-resid"]
+        assert residual.kind is GsnKind.GOAL
+        solutions = graph.children(residual.element_id)
+        assert {s.evidence_ref for s in solutions} == {"ev-1", "ev-2"}
+
+    def test_treatment_without_evidence_is_undeveloped(self, graph):
+        goals = asset_security_pattern(graph, "G-top", "a", "asset", ["TS-1"])
+        treatment_pattern(graph, goals[0], "TS-1", "retain", [], [])
+        residual = graph.elements[f"{goals[0]}-resid"]
+        assert residual.undeveloped
+
+
+class TestInterplayCompliancePatterns:
+    def test_interplay_with_evidence_grounds(self, graph):
+        interplay_pattern(graph, "G-top", ["HZ-01"], "ev-x")
+        assert graph.elements["Sn-interplay"].evidence_ref == "ev-x"
+        assert not graph.elements["G-interplay-analysis"].undeveloped
+
+    def test_interplay_without_evidence_undeveloped(self, graph):
+        interplay_pattern(graph, "G-top", ["HZ-01"], None)
+        assert graph.elements["G-interplay-analysis"].undeveloped
+
+    def test_compliance_per_requirement_goals(self, graph):
+        compliance_pattern(
+            graph, "G-top", ["R-1", "R-2"], {"R-1": ["ev-a"], "R-2": []},
+        )
+        assert not graph.elements["G-req-R-1"].undeveloped
+        assert graph.elements["G-req-R-2"].undeveloped
+
+
+class TestSensorBase:
+    def _sensor(self, sim, log):
+        carrier = Entity("machine", sim, log, Vec2(1, 2))
+        carrier.state.altitude = 10.0
+        return Sensor("s", carrier), carrier
+
+    def test_position_and_mount_height_follow_carrier(self, sim, log):
+        sensor, carrier = self._sensor(sim, log)
+        assert sensor.position == Vec2(1, 2)
+        assert sensor.mount_height == carrier.body_height + 10.0
+
+    def test_blinding_window(self, sim, log):
+        sensor, _ = self._sensor(sim, log)
+        sensor.blind(5.0, 3.0, attacker="x")
+        assert sensor.is_blinded(6.0)
+        assert not sensor.is_blinded(9.0)
+        assert not sensor.operational(6.0)
+        assert sensor.operational(9.0)
+        assert log.count("sensor_blinded") == 1
+
+    def test_overlapping_blind_extends_not_shrinks(self, sim, log):
+        sensor, _ = self._sensor(sim, log)
+        sensor.blind(0.0, 10.0)
+        sensor.blind(2.0, 3.0)  # shorter overlap must not shorten the window
+        assert sensor.is_blinded(9.0)
+
+    def test_hijack_release(self, sim, log):
+        sensor, _ = self._sensor(sim, log)
+        sensor.hijack("attacker")
+        assert sensor.hijacked_by == "attacker"
+        sensor.release()
+        assert sensor.hijacked_by is None
+
+    def test_observe_is_abstract(self, sim, log):
+        sensor, _ = self._sensor(sim, log)
+        with pytest.raises(NotImplementedError):
+            sensor.observe(0.0, [])
+
+    def test_observation_dataclass(self):
+        obs = Observation(time=1.0, sensor="s", target="t", distance=5.0,
+                          detected=True, confidence=0.7)
+        assert obs.detected
+        assert obs.data == {}

@@ -1,0 +1,140 @@
+"""Unit tests for network message attacks against both link profiles."""
+
+import pytest
+
+from repro.attacks.network_attacks import (
+    MessageInjectionAttack,
+    ReplayAttack,
+    TamperingAttack,
+)
+from repro.comms.crypto.numbers import TEST_GROUP
+from repro.comms.crypto.secure_channel import SecurityProfile
+from repro.comms.medium import WirelessMedium
+from repro.comms.messages import Command, Telemetry
+from repro.comms.network import Network
+from repro.sim.geometry import Vec2
+
+
+def make_net(sim, log, streams, profile):
+    medium = WirelessMedium(sim, log, streams)
+    network = Network(sim, log, medium, group=TEST_GROUP, profile=profile)
+    control = network.add_node("control", lambda: Vec2(0, 0))
+    victim = network.add_node("victim", lambda: Vec2(60, 0))
+    network.establish_all()
+    return medium, network, control, victim
+
+
+class TestInjection:
+    def test_succeeds_against_plaintext(self, sim, log, streams):
+        medium, _, control, victim = make_net(
+            sim, log, streams, SecurityProfile.PLAINTEXT
+        )
+        got = []
+        victim.on_message("command", got.append)
+        attack = MessageInjectionAttack(
+            "inj", sim, log, medium, Vec2(30, 0), victim="victim",
+            spoofed="control", command="resume", rate_hz=2.0,
+        )
+        attack.start()
+        sim.run_until(10.0)
+        attack.stop()
+        assert len(got) > 5
+        assert all(m.sender == "control" for m in got)  # spoofed identity
+
+    def test_rejected_by_aead(self, sim, log, streams):
+        medium, _, control, victim = make_net(sim, log, streams, SecurityProfile.AEAD)
+        got = []
+        victim.on_message("command", got.append)
+        attack = MessageInjectionAttack(
+            "inj", sim, log, medium, Vec2(30, 0), victim="victim",
+            spoofed="control", rate_hz=2.0,
+        )
+        attack.start()
+        sim.run_until(10.0)
+        attack.stop()
+        assert got == []
+        assert victim.records_rejected > 5
+        assert log.count("record_rejected") > 5
+
+
+class TestReplay:
+    def test_replay_rejected_by_aead_channel(self, sim, log, streams):
+        medium, _, control, victim = make_net(sim, log, streams, SecurityProfile.AEAD)
+        got = []
+        victim.on_message("*", got.append)
+        attack = ReplayAttack(
+            "rep", sim, log, medium, Vec2(30, 0), victim="victim",
+            replay_delay_s=2.0,
+        )
+        attack.start()
+        control.send(Command(sender="control", recipient="victim",
+                             payload={"command": "resume"}))
+        sim.run_until(10.0)
+        attack.stop()
+        assert len(got) == 1  # only the original
+        assert attack.replayed >= 1
+        assert victim.records_rejected >= 1
+
+    def test_replay_accepted_on_plaintext(self, sim, log, streams):
+        medium, _, control, victim = make_net(
+            sim, log, streams, SecurityProfile.PLAINTEXT
+        )
+        got = []
+        victim.on_message("*", got.append)
+        attack = ReplayAttack(
+            "rep", sim, log, medium, Vec2(30, 0), victim="victim",
+            replay_delay_s=2.0,
+        )
+        attack.start()
+        control.send(Command(sender="control", recipient="victim",
+                             payload={"command": "resume"}))
+        sim.run_until(6.0)
+        attack.stop()
+        assert len(got) >= 2  # original + replayed copies consumed
+
+
+class TestTampering:
+    def test_tampered_records_rejected_by_aead(self, sim, log, streams):
+        medium, _, control, victim = make_net(sim, log, streams, SecurityProfile.AEAD)
+        attack = TamperingAttack(
+            "tam", sim, log, medium, Vec2(30, 0), victim="victim",
+        )
+        attack.start()
+        before = victim.messages_received
+        for i in range(5):
+            sim.schedule(
+                i * 0.5,
+                lambda: control.send(
+                    Telemetry(sender="control", recipient="victim",
+                              payload={"x": 1.0}),
+                    reliable=False,
+                ),
+            )
+        sim.run_until(10.0)
+        attack.stop()
+        assert attack.tampered >= 3
+        # originals still get through; forged copies rejected
+        assert victim.messages_received >= before + 3
+        assert victim.records_rejected >= 3
+
+    def test_tampering_corrupts_plaintext_silently(self, sim, log, streams):
+        medium, _, control, victim = make_net(
+            sim, log, streams, SecurityProfile.PLAINTEXT
+        )
+        got = []
+        victim.on_message("*", got.append)
+        attack = TamperingAttack(
+            "tam", sim, log, medium, Vec2(30, 0), victim="victim",
+        )
+        attack.start()
+        control.send(
+            Telemetry(sender="control", recipient="victim", payload={"x": 1.0}),
+            reliable=False,
+        )
+        sim.run_until(5.0)
+        attack.stop()
+        # either the mutated copy was consumed as a (different) message, or
+        # it broke JSON decoding and was silently dropped — both are the
+        # plaintext failure mode (no integrity error surfaced)
+        assert victim.records_rejected <= 1
+        assert attack.tampered >= 1

@@ -1,0 +1,261 @@
+"""Unit tests for DH groups, Schnorr signatures, certificates, secure channel."""
+
+import pytest
+
+from repro.comms.crypto.certificates import (
+    Certificate,
+    CertificateAuthority,
+    CertificateError,
+    verify_certificate,
+    verify_chain,
+)
+from repro.comms.crypto.keys import KeyPair, SchnorrSignature, sign, verify
+from repro.comms.crypto.numbers import MODP_2048, TEST_GROUP
+from repro.comms.crypto.secure_channel import (
+    ChannelError,
+    HandshakeError,
+    Identity,
+    SecureChannel,
+    SecurityProfile,
+)
+
+G = TEST_GROUP
+
+
+class TestGroup:
+    def test_generator_has_order_q(self):
+        assert pow(G.g, G.q, G.p) == 1
+        assert G.is_element(G.g)
+
+    def test_dh_agreement(self):
+        a = KeyPair.generate(G, seed=b"a")
+        b = KeyPair.generate(G, seed=b"b")
+        assert G.pow(b.public, a.secret) == G.pow(a.public, b.secret)
+
+    def test_membership_rejects_outsiders(self):
+        assert not G.is_element(0)
+        assert not G.is_element(G.p)
+        assert not G.is_element(G.p - 1)  # order-2 element
+
+    def test_encode_decode_roundtrip(self):
+        kp = KeyPair.generate(G, seed=b"x")
+        assert G.decode(G.encode(kp.public)) == kp.public
+
+    def test_modp2048_sanity(self):
+        assert MODP_2048.p.bit_length() == 2048
+        assert MODP_2048.is_element(MODP_2048.g)
+
+    def test_hash_to_exponent_in_range(self):
+        for i in range(20):
+            e = G.hash_to_exponent(bytes([i]))
+            assert 0 <= e < G.q
+
+
+class TestSchnorr:
+    def test_sign_verify(self):
+        kp = KeyPair.generate(G, seed=b"signer")
+        sig = sign(kp, b"message")
+        assert verify(G, kp.public, b"message", sig)
+
+    def test_wrong_message_rejected(self):
+        kp = KeyPair.generate(G, seed=b"signer")
+        sig = sign(kp, b"message")
+        assert not verify(G, kp.public, b"other", sig)
+
+    def test_wrong_key_rejected(self):
+        kp1 = KeyPair.generate(G, seed=b"one")
+        kp2 = KeyPair.generate(G, seed=b"two")
+        sig = sign(kp1, b"message")
+        assert not verify(G, kp2.public, b"message", sig)
+
+    def test_deterministic_nonce(self):
+        kp = KeyPair.generate(G, seed=b"signer")
+        assert sign(kp, b"m") == sign(kp, b"m")
+        assert sign(kp, b"m") != sign(kp, b"n")
+
+    def test_signature_encoding_roundtrip(self):
+        kp = KeyPair.generate(G, seed=b"signer")
+        sig = sign(kp, b"m")
+        decoded = SchnorrSignature.decode(sig.encode(G), G)
+        assert decoded == sig
+
+    def test_malformed_encoding_raises(self):
+        with pytest.raises(ValueError):
+            SchnorrSignature.decode(b"short", G)
+
+    def test_invalid_public_key_rejected(self):
+        kp = KeyPair.generate(G, seed=b"signer")
+        sig = sign(kp, b"m")
+        assert not verify(G, G.p - 1, b"m", sig)
+
+    def test_out_of_range_signature_rejected(self):
+        kp = KeyPair.generate(G, seed=b"signer")
+        bad = SchnorrSignature(e=G.q + 5, s=1)
+        assert not verify(G, kp.public, b"m", bad)
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("test-ca", G)
+
+
+class TestCertificates:
+    def test_issue_and_verify(self, ca):
+        kp = KeyPair.generate(G, seed=b"alice")
+        cert = ca.issue("alice", kp.public, roles=("operator",))
+        verify_certificate(cert, ca.keypair.public, G, now=1.0)
+        assert cert.has_role("operator")
+
+    def test_chain_validation(self, ca):
+        kp = KeyPair.generate(G, seed=b"alice")
+        cert = ca.issue("alice", kp.public)
+        leaf = verify_chain([cert], ca.root_certificate, G, now=1.0)
+        assert leaf.subject == "alice"
+
+    def test_intermediate_chain(self, ca):
+        sub_kp = KeyPair.generate(G, seed=b"sub-ca")
+        sub_cert = ca.issue("sub-ca", sub_kp.public, is_ca=True)
+        sub = CertificateAuthority("sub-ca", G, keypair=sub_kp)
+        kp = KeyPair.generate(G, seed=b"leaf")
+        leaf_cert = sub.issue("leaf", kp.public)
+        result = verify_chain([leaf_cert, sub_cert], ca.root_certificate, G, now=1.0)
+        assert result.subject == "leaf"
+
+    def test_non_ca_intermediate_rejected(self, ca):
+        mid_kp = KeyPair.generate(G, seed=b"mid")
+        mid_cert = ca.issue("mid", mid_kp.public, is_ca=False)
+        mid = CertificateAuthority("mid", G, keypair=mid_kp)
+        leaf = mid.issue("leaf", KeyPair.generate(G, seed=b"l").public)
+        with pytest.raises(CertificateError, match="CA flag"):
+            verify_chain([leaf, mid_cert], ca.root_certificate, G, now=1.0)
+
+    def test_expired_certificate_rejected(self, ca):
+        kp = KeyPair.generate(G, seed=b"alice")
+        cert = ca.issue("alice", kp.public, now=0.0, validity_s=10.0)
+        with pytest.raises(CertificateError, match="validity"):
+            verify_chain([cert], ca.root_certificate, G, now=100.0)
+
+    def test_tampered_certificate_rejected(self, ca):
+        kp = KeyPair.generate(G, seed=b"alice")
+        cert = ca.issue("alice", kp.public)
+        forged = Certificate(**{**cert.__dict__, "subject": "mallory"})
+        with pytest.raises(CertificateError, match="signature"):
+            verify_chain([forged], ca.root_certificate, G, now=1.0)
+
+    def test_revocation(self, ca):
+        kp = KeyPair.generate(G, seed=b"alice")
+        cert = ca.issue("alice", kp.public)
+        ca.revoke(cert.serial)
+        with pytest.raises(CertificateError, match="revoked"):
+            verify_chain(
+                [cert], ca.root_certificate, G, now=1.0, revocation_check=ca
+            )
+
+    def test_chain_break_rejected(self, ca):
+        other = CertificateAuthority("other-ca", G)
+        kp = KeyPair.generate(G, seed=b"alice")
+        cert = other.issue("alice", kp.public)
+        with pytest.raises(CertificateError):
+            verify_chain([cert], ca.root_certificate, G, now=1.0)
+
+    def test_empty_chain_rejected(self, ca):
+        with pytest.raises(CertificateError, match="empty"):
+            verify_chain([], ca.root_certificate, G)
+
+    def test_invalid_public_key_rejected_at_issue(self, ca):
+        with pytest.raises(CertificateError):
+            ca.issue("bad", G.p - 1)
+
+
+def make_identity(ca, name, roles=()):
+    kp = KeyPair.generate(G, seed=name.encode())
+    cert = ca.issue(name, kp.public, roles=roles)
+    return Identity(name=name, keypair=kp, chain=[cert],
+                    trusted_root=ca.root_certificate, ca=ca)
+
+
+class TestSecureChannel:
+    def test_handshake_and_roundtrip(self, ca):
+        a = make_identity(ca, "alice")
+        b = make_identity(ca, "bob")
+        chan_a, chan_b, stats = SecureChannel.establish_pair(a, b)
+        record = chan_a.seal(b"hello")
+        assert chan_b.open(record) == b"hello"
+        reply = chan_b.seal(b"world")
+        assert chan_a.open(reply) == b"world"
+        assert stats.exponentiations == 4
+
+    def test_replay_rejected(self, ca):
+        a = make_identity(ca, "alice")
+        b = make_identity(ca, "bob")
+        chan_a, chan_b, _ = SecureChannel.establish_pair(a, b)
+        record = chan_a.seal(b"msg")
+        chan_b.open(record)
+        with pytest.raises(ChannelError, match="replay"):
+            chan_b.open(record)
+
+    def test_reordering_within_window_accepted(self, ca):
+        a = make_identity(ca, "alice")
+        b = make_identity(ca, "bob")
+        chan_a, chan_b, _ = SecureChannel.establish_pair(a, b)
+        r1 = chan_a.seal(b"one")
+        r2 = chan_a.seal(b"two")
+        assert chan_b.open(r2) == b"two"
+        assert chan_b.open(r1) == b"one"
+
+    def test_tampered_record_rejected(self, ca):
+        a = make_identity(ca, "alice")
+        b = make_identity(ca, "bob")
+        chan_a, chan_b, _ = SecureChannel.establish_pair(a, b)
+        record = chan_a.seal(b"msg")
+        from repro.comms.crypto.secure_channel import Record
+
+        bad = Record(seq=record.seq, body=record.body[:-1] + b"\x00",
+                     profile=record.profile)
+        with pytest.raises(ChannelError):
+            chan_b.open(bad)
+
+    def test_integrity_profile_authenticates_but_not_encrypts(self, ca):
+        a = make_identity(ca, "alice")
+        b = make_identity(ca, "bob")
+        chan_a, chan_b, _ = SecureChannel.establish_pair(
+            a, b, profile=SecurityProfile.INTEGRITY
+        )
+        record = chan_a.seal(b"visible")
+        assert b"visible" in record.body  # plaintext visible on the wire
+        assert chan_b.open(record) == b"visible"
+
+    def test_aead_profile_hides_plaintext(self, ca):
+        a = make_identity(ca, "alice")
+        b = make_identity(ca, "bob")
+        chan_a, _, __ = SecureChannel.establish_pair(a, b)
+        record = chan_a.seal(b"secret-content")
+        assert b"secret-content" not in record.body
+
+    def test_revoked_peer_rejected_at_handshake(self, ca):
+        a = make_identity(ca, "alice")
+        b = make_identity(ca, "bob")
+        ca.revoke(b.chain[0].serial)
+        with pytest.raises(HandshakeError):
+            SecureChannel.establish_pair(a, b)
+
+    def test_name_mismatch_rejected(self, ca):
+        a = make_identity(ca, "alice")
+        b = make_identity(ca, "bob")
+        impostor = Identity(
+            name="carol", keypair=b.keypair, chain=b.chain,
+            trusted_root=ca.root_certificate, ca=ca,
+        )
+        with pytest.raises(HandshakeError, match="claimed"):
+            SecureChannel.establish_pair(a, impostor)
+
+    def test_profile_mismatch_rejected(self, ca):
+        a = make_identity(ca, "alice")
+        b = make_identity(ca, "bob")
+        chan_a, _, __ = SecureChannel.establish_pair(a, b)
+        _, chan_b2, __ = SecureChannel.establish_pair(
+            a, b, profile=SecurityProfile.INTEGRITY
+        )
+        record = chan_a.seal(b"msg")
+        with pytest.raises(ChannelError, match="profile"):
+            chan_b2.open(record)

@@ -1,0 +1,141 @@
+"""Unit tests for symmetric primitives."""
+
+import pytest
+
+from repro.comms.crypto.primitives import (
+    AeadError,
+    aead_decrypt,
+    aead_encrypt,
+    constant_time_equal,
+    hkdf,
+    hkdf_expand,
+    hkdf_extract,
+    hmac_sha256,
+    nonce_from_sequence,
+    stream_xor,
+)
+
+KEY = b"k" * 32
+NONCE = b"n" * 16
+
+
+class TestHmacHkdf:
+    def test_hmac_deterministic_and_keyed(self):
+        assert hmac_sha256(b"k", b"m") == hmac_sha256(b"k", b"m")
+        assert hmac_sha256(b"k", b"m") != hmac_sha256(b"K", b"m")
+        assert len(hmac_sha256(b"k", b"m")) == 32
+
+    def test_hkdf_rfc5869_case_1(self):
+        """RFC 5869 test vector A.1."""
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        okm = hkdf(ikm, salt=salt, info=info, length=42)
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_hkdf_expand_lengths(self):
+        prk = hkdf_extract(b"", b"ikm")
+        for length in (1, 31, 32, 33, 100):
+            assert len(hkdf_expand(prk, b"info", length)) == length
+
+    def test_hkdf_too_long_raises(self):
+        with pytest.raises(ValueError):
+            hkdf_expand(b"\x00" * 32, b"", 255 * 32 + 1)
+
+    def test_different_info_different_keys(self):
+        assert hkdf(b"secret", info=b"a") != hkdf(b"secret", info=b"b")
+
+    def test_constant_time_equal(self):
+        assert constant_time_equal(b"abc", b"abc")
+        assert not constant_time_equal(b"abc", b"abd")
+        assert not constant_time_equal(b"abc", b"abcd")
+
+
+class TestStreamCipher:
+    def test_roundtrip(self):
+        data = b"the quick brown fox" * 10
+        ct = stream_xor(KEY, NONCE, data)
+        assert ct != data
+        assert stream_xor(KEY, NONCE, ct) == data
+
+    def test_empty_message(self):
+        assert stream_xor(KEY, NONCE, b"") == b""
+
+    def test_nonce_separates_keystreams(self):
+        data = b"\x00" * 64
+        assert stream_xor(KEY, b"a" * 16, data) != stream_xor(KEY, b"b" * 16, data)
+
+    def test_non_block_aligned_lengths(self):
+        for n in (1, 31, 32, 33, 63, 65):
+            data = bytes(range(n % 256)) * (n // max(n % 256, 1) + 1)
+            data = data[:n]
+            assert stream_xor(KEY, NONCE, stream_xor(KEY, NONCE, data)) == data
+
+
+class TestAead:
+    def test_roundtrip_with_aad(self):
+        sealed = aead_encrypt(KEY, NONCE, b"payload", b"header")
+        assert aead_decrypt(KEY, NONCE, sealed, b"header") == b"payload"
+
+    def test_ciphertext_expansion_is_tag_only(self):
+        sealed = aead_encrypt(KEY, NONCE, b"payload")
+        assert len(sealed) == len(b"payload") + 32
+
+    def test_tampered_ciphertext_rejected(self):
+        sealed = bytearray(aead_encrypt(KEY, NONCE, b"payload"))
+        sealed[0] ^= 1
+        with pytest.raises(AeadError):
+            aead_decrypt(KEY, NONCE, bytes(sealed))
+
+    def test_tampered_tag_rejected(self):
+        sealed = bytearray(aead_encrypt(KEY, NONCE, b"payload"))
+        sealed[-1] ^= 1
+        with pytest.raises(AeadError):
+            aead_decrypt(KEY, NONCE, bytes(sealed))
+
+    def test_wrong_aad_rejected(self):
+        sealed = aead_encrypt(KEY, NONCE, b"payload", b"aad-1")
+        with pytest.raises(AeadError):
+            aead_decrypt(KEY, NONCE, sealed, b"aad-2")
+
+    def test_wrong_nonce_rejected(self):
+        sealed = aead_encrypt(KEY, NONCE, b"payload")
+        with pytest.raises(AeadError):
+            aead_decrypt(KEY, b"m" * 16, sealed)
+
+    def test_wrong_key_rejected(self):
+        sealed = aead_encrypt(KEY, NONCE, b"payload")
+        with pytest.raises(AeadError):
+            aead_decrypt(b"x" * 32, NONCE, sealed)
+
+    def test_truncated_input_rejected(self):
+        with pytest.raises(AeadError):
+            aead_decrypt(KEY, NONCE, b"short")
+
+    def test_bad_key_length_raises(self):
+        with pytest.raises(ValueError):
+            aead_encrypt(b"short", NONCE, b"x")
+        with pytest.raises(ValueError):
+            aead_decrypt(b"short", NONCE, b"\x00" * 40)
+
+    def test_aad_boundary_ambiguity_prevented(self):
+        """(aad='ab', ct of 'c...') must not collide with (aad='a', 'bc...')."""
+        s1 = aead_encrypt(KEY, NONCE, b"payload", b"ab")
+        with pytest.raises(AeadError):
+            aead_decrypt(KEY, NONCE, s1, b"a")
+
+    def test_empty_plaintext(self):
+        sealed = aead_encrypt(KEY, NONCE, b"")
+        assert aead_decrypt(KEY, NONCE, sealed) == b""
+
+
+class TestNonce:
+    def test_nonce_unique_per_sequence(self):
+        nonces = {nonce_from_sequence(i) for i in range(1000)}
+        assert len(nonces) == 1000
+
+    def test_direction_separates(self):
+        assert nonce_from_sequence(1, 0) != nonce_from_sequence(1, 1)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventLog
+from repro.sim.rng import RngStreams
+from repro.sim.geometry import Vec2
+from repro.sim.terrain import Terrain
+from repro.sim.world import World, Zone
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def log():
+    return EventLog()
+
+
+@pytest.fixture
+def streams():
+    return RngStreams(1234)
+
+
+@pytest.fixture
+def flat_world():
+    """A 200x200 m world with flat terrain and no trees."""
+    terrain = Terrain(200.0, 200.0)
+    world = World(terrain)
+    world.add_zone(Zone("all", Vec2(0.0, 0.0), Vec2(200.0, 200.0)))
+    return world

@@ -1,0 +1,104 @@
+"""Unit tests for the continuous (runtime) risk assessment."""
+
+import pytest
+
+from repro.core.continuous import (
+    ContinuousRiskAssessment,
+    POSTURE_ASSURANCE,
+    RiskPosture,
+)
+from repro.defense.ids.base import Alert
+from repro.risk.tara import Tara
+from repro.scenarios.worksite import worksite_item_model
+
+
+@pytest.fixture
+def baseline():
+    return Tara(
+        worksite_item_model(),
+        deployed_measures=[
+            "secure_channel_aead", "pki_mutual_auth", "gnss_plausibility",
+            "camera_redundancy", "protected_management_frames", "spec_ids",
+        ],
+    ).assess()
+
+
+def alert(time, alert_type, confidence=0.9):
+    return Alert(time=time, detector="d", alert_type=alert_type,
+                 confidence=confidence)
+
+
+class TestContinuousRisk:
+    def test_starts_nominal(self, baseline, sim, log):
+        engine = ContinuousRiskAssessment(baseline, sim, log)
+        sim.run_until(30.0)
+        assert engine.posture is RiskPosture.NOMINAL
+
+    def test_alerts_raise_feasibility_and_posture(self, baseline, sim, log):
+        engine = ContinuousRiskAssessment(baseline, sim, log)
+        sim.run_until(10.0)
+        for i in range(4):
+            engine.ingest_alert(alert(sim.now, "message_injection"))
+        sim.run_until(20.0)
+        assert engine.posture >= RiskPosture.HIGH
+        assert log.count("risk_posture_changed") >= 1
+
+    def test_activity_decays_back_to_nominal(self, baseline, sim, log):
+        engine = ContinuousRiskAssessment(
+            baseline, sim, log, decay_halflife_s=10.0
+        )
+        sim.run_until(10.0)
+        for _ in range(4):
+            engine.ingest_alert(alert(sim.now, "message_injection"))
+        sim.run_until(20.0)
+        elevated = engine.posture
+        sim.run_until(200.0)
+        assert elevated > RiskPosture.NOMINAL
+        assert engine.posture is RiskPosture.NOMINAL
+
+    def test_posture_change_callback(self, baseline, sim, log):
+        changes = []
+        engine = ContinuousRiskAssessment(
+            baseline, sim, log, on_posture_change=changes.append
+        )
+        sim.run_until(10.0)
+        for _ in range(4):
+            engine.ingest_alert(alert(sim.now, "gnss_spoofing"))
+        sim.run_until(20.0)
+        assert changes
+        assert changes[0] > RiskPosture.NOMINAL
+
+    def test_non_safety_activity_keeps_lower_posture(self, baseline, sim, log):
+        engine = ContinuousRiskAssessment(baseline, sim, log)
+        sim.run_until(10.0)
+        # eavesdropping threats are not safety-coupled in the item model
+        for _ in range(4):
+            engine.ingest_alert(alert(sim.now, "eavesdropping"))
+        sim.run_until(20.0)
+        assert engine.posture <= RiskPosture.ELEVATED
+
+    def test_effective_feasibility_bounded(self, baseline, sim, log):
+        engine = ContinuousRiskAssessment(baseline, sim, log)
+        for _ in range(100):
+            engine.ingest_alert(alert(0.0, "rf_jamming"))
+        from repro.risk.feasibility import FeasibilityRating
+
+        for assessment in baseline.assessments:
+            assert engine.effective_feasibility(assessment) <= FeasibilityRating.HIGH
+
+    def test_time_in_posture_accounting(self, baseline, sim, log):
+        engine = ContinuousRiskAssessment(baseline, sim, log)
+        sim.run_until(100.0)
+        durations = engine.time_in_posture(100.0)
+        assert sum(durations.values()) == pytest.approx(100.0)
+
+    def test_posture_assurance_mapping_total(self):
+        assert set(POSTURE_ASSURANCE) == set(RiskPosture)
+        assert POSTURE_ASSURANCE[RiskPosture.CRITICAL] == "minimal"
+
+    def test_ingest_event_weights(self, baseline, sim, log):
+        engine = ContinuousRiskAssessment(baseline, sim, log)
+        engine.ingest_event("gnss_jamming", weight=2.0)
+        activity = engine.activity["gnss_jamming"]
+        assert activity.level == 2.0
+        assert activity.alerts == 1

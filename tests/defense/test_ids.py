@@ -1,0 +1,230 @@
+"""Unit tests for the three IDS families and the manager."""
+
+import pytest
+
+from repro.comms.crypto.numbers import TEST_GROUP
+from repro.comms.crypto.secure_channel import SecurityProfile
+from repro.comms.medium import WirelessMedium
+from repro.comms.messages import Command, Telemetry
+from repro.comms.network import Network
+from repro.defense.ids.anomaly import AnomalyIds
+from repro.defense.ids.base import Alert, IntrusionDetector
+from repro.defense.ids.manager import IdsManager
+from repro.defense.ids.signature import SignatureIds, SignatureRule
+from repro.defense.ids.spec import ProtocolSpec, SpecificationIds
+from repro.sim.events import EventCategory
+from repro.sim.geometry import Vec2
+
+
+class TestBaseDetector:
+    def test_alert_recorded_and_published(self, sim, log):
+        detector = IntrusionDetector("det", sim, log)
+        sunk = []
+        detector.add_sink(sunk.append)
+        alert = detector.raise_alert("test_type", 0.8, extra="x")
+        assert alert in detector.alerts
+        assert sunk == [alert]
+        assert log.count("ids_alert") == 1
+
+    def test_disabled_detector_silent(self, sim, log):
+        detector = IntrusionDetector("det", sim, log)
+        detector.enabled = False
+        assert detector.raise_alert("t", 0.5) is None
+        assert detector.alerts == []
+
+
+class TestSignatureIds:
+    def test_threshold_rule_fires(self, sim, log):
+        rule = SignatureRule("r", "bad_event", 3, 10.0, "some_attack")
+        ids = SignatureIds("sig", sim, log, rules=[rule])
+        for t in (1.0, 2.0, 3.0):
+            log.emit(t, EventCategory.COMMS, "bad_event", "x")
+        assert len(ids.alerts) == 1
+        assert ids.alerts[0].alert_type == "some_attack"
+
+    def test_below_threshold_silent(self, sim, log):
+        rule = SignatureRule("r", "bad_event", 3, 10.0, "some_attack")
+        ids = SignatureIds("sig", sim, log, rules=[rule])
+        log.emit(1.0, EventCategory.COMMS, "bad_event", "x")
+        log.emit(2.0, EventCategory.COMMS, "bad_event", "x")
+        assert ids.alerts == []
+
+    def test_window_expiry(self, sim, log):
+        rule = SignatureRule("r", "bad_event", 3, 5.0, "some_attack")
+        ids = SignatureIds("sig", sim, log, rules=[rule])
+        for t in (1.0, 2.0, 30.0):  # first two age out
+            log.emit(t, EventCategory.COMMS, "bad_event", "x")
+        assert ids.alerts == []
+
+    def test_cooldown_suppresses_retrigger(self, sim, log):
+        rule = SignatureRule("r", "bad_event", 2, 60.0, "atk", cooldown_s=30.0)
+        ids = SignatureIds("sig", sim, log, rules=[rule])
+        for t in (1.0, 2.0, 3.0, 4.0):
+            log.emit(t, EventCategory.COMMS, "bad_event", "x")
+        assert len(ids.alerts) == 1
+        log.emit(40.0, EventCategory.COMMS, "bad_event", "x")
+        assert len(ids.alerts) == 2
+
+    def test_default_ruleset_covers_deauth(self, sim, log):
+        ids = SignatureIds("sig", sim, log)
+        for t in (1.0, 2.0, 3.0):
+            log.emit(t, EventCategory.COMMS, "deauthenticated", "victim")
+        assert any(a.alert_type == "wifi_deauth" for a in ids.alerts)
+
+
+class TestAnomalyIds:
+    def test_learns_baseline_then_detects_shift(self, sim, log):
+        value = {"v": 10.0}
+        ids = AnomalyIds(
+            "anom", sim, log, {"f": lambda: value["v"]},
+            interval_s=1.0, warmup_samples=10, z_threshold=4.0, persistence=2,
+        )
+        sim.run_until(30.0)  # learn stable baseline
+        assert ids.alerts == []
+        value["v"] = 100.0
+        sim.run_until(40.0)
+        assert len(ids.alerts) >= 1
+        assert ids.alerts[0].details["feature"] == "f"
+
+    def test_no_alert_during_warmup(self, sim, log):
+        value = {"v": 0.0}
+        ids = AnomalyIds(
+            "anom", sim, log, {"f": lambda: value["v"]},
+            interval_s=1.0, warmup_samples=50,
+        )
+        value["v"] = 1000.0
+        sim.run_until(20.0)
+        assert ids.alerts == []
+
+    def test_persistence_filters_single_spikes(self, sim, log):
+        values = iter([5.0] * 40 + [500.0] + [5.0] * 40)
+        holder = {"v": 5.0}
+
+        def getter():
+            try:
+                holder["v"] = next(values)
+            except StopIteration:
+                pass
+            return holder["v"]
+
+        ids = AnomalyIds(
+            "anom", sim, log, {"f": getter},
+            interval_s=1.0, warmup_samples=20, persistence=3,
+        )
+        sim.run_until(85.0)
+        assert ids.alerts == []
+
+    def test_broken_feature_does_not_crash(self, sim, log):
+        def broken():
+            raise RuntimeError("sensor gone")
+
+        ids = AnomalyIds("anom", sim, log, {"f": broken}, interval_s=1.0)
+        sim.run_until(10.0)
+        assert ids.alerts == []
+
+
+@pytest.fixture
+def spec_rig(sim, log, streams):
+    medium = WirelessMedium(sim, log, streams)
+    network = Network(sim, log, medium, group=TEST_GROUP,
+                      profile=SecurityProfile.PLAINTEXT)
+    control = network.add_node("control", lambda: Vec2(0, 0))
+    rogue = network.add_node("rogue", lambda: Vec2(10, 0))
+    victim = network.add_node("victim", lambda: Vec2(50, 0))
+    spec = ProtocolSpec(command_senders={"control"}, max_rate_per_sender_hz=5.0)
+    ids = SpecificationIds("spec", sim, log, victim, spec)
+    return network, control, rogue, victim, ids
+
+
+class TestSpecificationIds:
+    def test_command_from_authorized_sender_ok(self, spec_rig, sim):
+        _, control, __, victim, ids = spec_rig
+        control.send(Command(sender="control", recipient="victim",
+                             payload={"command": "resume"}))
+        sim.run_until(1.0)
+        assert not [a for a in ids.alerts if a.details.get("check") == "command_sender"]
+
+    def test_command_from_rogue_flagged(self, spec_rig, sim):
+        _, __, rogue, victim, ids = spec_rig
+        rogue.send(Command(sender="rogue", recipient="victim",
+                           payload={"command": "resume"}))
+        sim.run_until(1.0)
+        flagged = [a for a in ids.alerts if a.details.get("check") == "command_sender"]
+        assert len(flagged) == 1
+        assert flagged[0].alert_type == "message_injection"
+
+    def test_unknown_command_vocabulary_flagged(self, spec_rig, sim):
+        _, control, __, victim, ids = spec_rig
+        control.send(Command(sender="control", recipient="victim",
+                             payload={"command": "rm_rf"}))
+        sim.run_until(1.0)
+        assert any(a.details.get("check") == "command_vocabulary" for a in ids.alerts)
+
+    def test_rate_violation_flagged(self, spec_rig, sim):
+        _, control, __, victim, ids = spec_rig
+        for i in range(40):
+            sim.schedule(i * 0.05, lambda: control.send(
+                Telemetry(sender="control", recipient="victim"), reliable=False))
+        sim.run_until(5.0)
+        assert any(a.details.get("check") == "rate" for a in ids.alerts)
+
+    def test_stale_timestamp_flagged_as_replay(self, spec_rig, sim, log):
+        network, control, __, victim, ids = spec_rig
+        # deliver a hand-crafted stale message directly to the dispatcher
+        stale = Telemetry(sender="control", recipient="victim",
+                          timestamp=-100.0, seq=1)
+        sim.run_until(1.0)
+        victim._dispatch(stale)
+        assert any(a.alert_type == "message_replay" for a in ids.alerts)
+
+    def test_sequence_regression_flagged(self, spec_rig, sim):
+        _, control, __, victim, ids = spec_rig
+        m1 = Telemetry(sender="control", recipient="victim", timestamp=0.0, seq=10)
+        m2 = Telemetry(sender="control", recipient="victim", timestamp=0.0, seq=3)
+        victim._dispatch(m1)
+        victim._dispatch(m2)
+        assert any(a.details.get("check") == "sequence" for a in ids.alerts)
+
+
+class TestIdsManager:
+    def _alert(self, time, detector="d", alert_type="t", conf=0.9):
+        return Alert(time=time, detector=detector, alert_type=alert_type,
+                     confidence=conf)
+
+    def test_dedup_window(self):
+        manager = IdsManager()
+        manager._ingest(self._alert(1.0))
+        manager._ingest(self._alert(2.0))  # within 5 s of same key
+        manager._ingest(self._alert(10.0))
+        assert len(manager.alerts) == 2
+        assert manager.suppressed == 1
+
+    def test_score_coverage_and_latency(self):
+        manager = IdsManager()
+        manager._ingest(self._alert(105.0, alert_type="rf_jamming"))
+        score = manager.score(
+            [("rf_jamming", 100.0, 200.0), ("gnss_spoofing", 300.0, 400.0)],
+            horizon_s=1000.0,
+        )
+        assert score.attacks_total == 2
+        assert score.attacks_detected == 1
+        assert score.coverage == 0.5
+        assert score.mean_latency_s == 5.0
+
+    def test_false_alarm_rate(self):
+        manager = IdsManager()
+        manager._ingest(self._alert(50.0))   # outside any window
+        manager._ingest(self._alert(150.0))  # inside
+        score = manager.score([("x", 100.0, 200.0)], horizon_s=3600.0)
+        assert score.false_alarms == 1
+        assert score.false_alarm_rate_per_h == pytest.approx(1.0)
+
+    def test_match_type_strictness(self):
+        manager = IdsManager()
+        manager._ingest(self._alert(105.0, alert_type="anomaly"))
+        loose = manager.score([("rf_jamming", 100.0, 200.0)], horizon_s=1000.0)
+        strict = manager.score(
+            [("rf_jamming", 100.0, 200.0)], horizon_s=1000.0, match_type=True
+        )
+        assert loose.attacks_detected == 1
+        assert strict.attacks_detected == 0

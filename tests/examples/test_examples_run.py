@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are the public face of the library; they must never rot.
+Each is executed in-process with a controlled argv.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list, capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", ["3"], capsys)
+    assert "Worksite summary" in out
+    assert "safety violations" in out
+
+
+def test_occlusion_demo(capsys):
+    out = run_example("occlusion_demo.py", ["2"], capsys)
+    assert "forwarder only" in out
+    assert "forwarder + drone" in out
+    assert "detected" in out
+
+
+def test_secure_channel_demo(capsys):
+    out = run_example("secure_channel_demo.py", [], capsys)
+    assert "replay        -> rejected" in out
+    assert "revoked" in out
+
+
+def test_risk_assessment_workflow(tmp_path, capsys):
+    out = run_example("risk_assessment_workflow.py", [str(tmp_path)], capsys)
+    assert "Security assurance case" in out
+    assert (tmp_path / "worksite_sac.md").exists()
+    assert (tmp_path / "worksite_sac.dot").exists()
+
+
+@pytest.mark.slow
+def test_attack_response(capsys):
+    out = run_example("attack_response.py", [], capsys)
+    assert "posture ->" in out
+    assert "attacks detected" in out

@@ -1,0 +1,187 @@
+"""End-to-end integration tests: attacks vs defences on the live worksite,
+and the full methodology loop closing over simulation evidence."""
+
+import pytest
+
+from repro.assurance.compliance import ComplianceMapping
+from repro.assurance.evidence import Evidence, EvidenceRegistry
+from repro.assurance.sac import SacBuilder
+from repro.comms.crypto.secure_channel import SecurityProfile
+from repro.core.continuous import ContinuousRiskAssessment, RiskPosture
+from repro.core.methodology import CombinedAssessment
+from repro.risk.tara import Tara
+from repro.safety.hazards import HazardCatalog
+from repro.safety.iso13849 import Category, SafetyFunctionDesign
+from repro.scenarios.campaigns import build_campaign
+from repro.scenarios.worksite import (
+    ScenarioConfig,
+    build_worksite,
+    worksite_item_model,
+)
+from repro.sos.zones import worksite_zone_model
+
+
+class TestAttackDefenseLoop:
+    def test_injection_blocked_by_aead_but_not_plaintext(self):
+        """The secure channel is what stands between a forged 'resume' and
+        the machine: unauthorized machine operations (Section III)."""
+        outcomes = {}
+        for profile in (SecurityProfile.PLAINTEXT, SecurityProfile.AEAD):
+            scenario = build_worksite(ScenarioConfig(
+                seed=5, profile=profile, access_control_enabled=False,
+            ))
+            campaign = build_campaign(
+                "message_injection", scenario, start=60.0, duration=240.0,
+                command="emergency_stop",
+            )
+            campaign.arm()
+            scenario.run(400.0)
+            outcomes[profile] = scenario.command_channel.executed
+        assert outcomes[SecurityProfile.PLAINTEXT] > 0
+        assert outcomes[SecurityProfile.AEAD] == 0
+
+    def test_access_control_is_second_line_on_plaintext(self):
+        """Even on an unprotected link, RBAC rejects the forged command."""
+        scenario = build_worksite(ScenarioConfig(
+            seed=5, profile=SecurityProfile.PLAINTEXT,
+            access_control_enabled=True,
+        ))
+        campaign = build_campaign(
+            "message_injection", scenario, start=60.0, duration=240.0,
+        )
+        campaign.arm()
+        scenario.run(400.0)
+        # injected sender "control" has a session, so spoofing control works
+        # at app level on plaintext — but a spoofed *unknown* sender fails
+        scenario2 = build_worksite(ScenarioConfig(
+            seed=5, profile=SecurityProfile.PLAINTEXT,
+            access_control_enabled=True,
+        ))
+        from repro.attacks.network_attacks import MessageInjectionAttack
+        from repro.sim.geometry import Vec2
+
+        attack = MessageInjectionAttack(
+            "inj", scenario2.sim, scenario2.log, scenario2.medium,
+            Vec2(150, 2), victim="forwarder", spoofed="mallory",
+            command="resume", rate_hz=2.0,
+        )
+        attack.schedule(60.0, 240.0)
+        scenario2.run(400.0)
+        assert scenario2.command_channel.rejected > 0
+
+    def test_deauth_resisted_by_protected_management(self):
+        resilient = build_worksite(ScenarioConfig(seed=6, protected_management=True))
+        campaign = build_campaign("wifi_deauth", resilient, start=60.0,
+                                  duration=300.0)
+        campaign.arm()
+        resilient.run(420.0)
+        fwd_resilient = resilient.network.nodes["forwarder"].endpoint
+
+        exposed = build_worksite(ScenarioConfig(seed=6, protected_management=False))
+        campaign = build_campaign("wifi_deauth", exposed, start=60.0,
+                                  duration=300.0)
+        campaign.arm()
+        exposed.run(420.0)
+        fwd_exposed = exposed.network.nodes["forwarder"].endpoint
+
+        assert fwd_resilient.deauths_rejected > 0
+        assert exposed.log.count("deauthenticated") > 0
+        assert resilient.log.count("deauthenticated") == 0
+
+    def test_gnss_spoofing_detected_by_monitor(self):
+        scenario = build_worksite(ScenarioConfig(seed=7))
+        campaign = build_campaign("gnss_spoofing", scenario, start=120.0,
+                                  duration=400.0)
+        campaign.arm()
+        scenario.run(600.0)
+        spoof_alerts = [
+            a for a in scenario.ids_manager.alerts
+            if a.alert_type == "gnss_spoofing"
+        ]
+        assert spoof_alerts
+        assert spoof_alerts[0].time > 120.0
+
+    def test_camera_hijack_detected_by_anti_hacking(self):
+        scenario = build_worksite(ScenarioConfig(seed=8))
+        campaign = build_campaign("camera_hijack", scenario, start=120.0,
+                                  duration=800.0)
+        campaign.arm()
+        scenario.run(1000.0)
+        hijack_alerts = [
+            a for a in scenario.ids_manager.alerts
+            if a.alert_type == "camera_hijack"
+        ]
+        assert hijack_alerts
+
+
+class TestContinuousLoop:
+    def test_runtime_posture_reacts_to_live_attack(self):
+        scenario = build_worksite(ScenarioConfig(seed=9))
+        baseline = Tara(
+            worksite_item_model(),
+            deployed_measures=["secure_channel_aead", "pki_mutual_auth",
+                               "gnss_plausibility", "protected_management_frames",
+                               "spec_ids", "camera_redundancy"],
+        ).assess()
+        postures = []
+        engine = ContinuousRiskAssessment(
+            baseline, scenario.sim, scenario.log,
+            on_posture_change=postures.append,
+        )
+        for detector in scenario.ids_manager.detectors:
+            detector.add_sink(engine.ingest_alert)
+        campaign = build_campaign("rf_jamming", scenario, start=300.0,
+                                  duration=300.0)
+        campaign.arm()
+        scenario.run(900.0)
+        assert postures, "no posture change despite live jamming"
+        assert max(postures) >= RiskPosture.ELEVATED
+
+
+class TestMethodologyLoop:
+    def test_sac_built_from_simulation_evidence(self):
+        """The full paper loop: run the worksite → collect evidence →
+        combined assessment → SAC with live evidence references."""
+        scenario = build_worksite(ScenarioConfig(seed=10))
+        scenario.run(600.0)
+
+        registry = EvidenceRegistry()
+        registry.add(Evidence(
+            "ev-sim-run", "simulation", "benign worksite run, no violations",
+            "E-F1", produced_at=scenario.sim.now,
+            data=scenario.summary(),
+        ))
+        registry.add(Evidence(
+            "ev-tara", "analysis", "worksite TARA", "E-T1",
+        ))
+
+        designs = {
+            "people_detection_stop": SafetyFunctionDesign(
+                "people_detection_stop", Category.CAT3, 40.0, 0.95),
+            "geofence": SafetyFunctionDesign("geofence", Category.CAT2, 25.0, 0.85),
+            "protective_stop": SafetyFunctionDesign(
+                "protective_stop", Category.CAT3, 60.0, 0.95),
+            "speed_limiter": SafetyFunctionDesign(
+                "speed_limiter", Category.CAT2, 30.0, 0.7),
+        }
+        item = worksite_item_model()
+        result = CombinedAssessment(
+            item, HazardCatalog(), designs, worksite_zone_model(),
+        ).run()
+
+        compliance = ComplianceMapping()
+        compliance.record_work_product("tara", "ev-tara")
+        compliance.record_work_product("experiment", "ev-sim-run")
+
+        builder = SacBuilder(item, registry, compliance)
+        graph = builder.build(
+            result,
+            evidence_by_threat={
+                a.threat_id: ["ev-tara"] for a in result.tara.assessments
+            },
+            interplay_evidence="ev-tara",
+        )
+        report = builder.report(graph, now=scenario.sim.now)
+        assert report.structural_findings == []
+        assert report.evidence_coverage == 1.0
+        assert report.compliance_coverage > 0.0

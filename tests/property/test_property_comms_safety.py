@@ -1,0 +1,101 @@
+"""Property-based tests on the radio model, SL calculus and SOTIF accounting."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.comms.radio import (
+    RadioConfig,
+    frame_success_probability,
+    link_budget,
+    path_loss_db,
+)
+from repro.defense.countermeasures import DEFAULT_CATALOG, CountermeasureCatalog
+from repro.risk.iec62443 import FOUNDATIONAL_REQUIREMENTS, Zone, sl_vector
+from repro.safety.sotif import SotifAnalysis
+
+
+class TestRadioProperties:
+    @given(d1=st.floats(min_value=1.0, max_value=5000.0, allow_nan=False),
+           d2=st.floats(min_value=1.0, max_value=5000.0, allow_nan=False))
+    def test_path_loss_monotone_in_distance(self, d1, d2):
+        if d1 <= d2:
+            assert path_loss_db(d1) <= path_loss_db(d2)
+
+    @given(d=st.floats(min_value=1.0, max_value=2000.0, allow_nan=False),
+           c1=st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+           c2=st.floats(min_value=0.0, max_value=200.0, allow_nan=False))
+    def test_canopy_never_helps(self, d, c1, c2):
+        if c1 <= c2:
+            assert path_loss_db(d, c1) <= path_loss_db(d, c2)
+
+    @given(snr=st.floats(min_value=-60.0, max_value=60.0, allow_nan=False))
+    def test_success_probability_valid(self, snr):
+        p = frame_success_probability(snr)
+        assert 0.0 <= p <= 1.0
+
+    @given(d=st.floats(min_value=1.0, max_value=2000.0, allow_nan=False),
+           interference=st.floats(min_value=-120.0, max_value=-30.0,
+                                  allow_nan=False))
+    @settings(max_examples=50)
+    def test_interference_never_improves_link(self, d, interference):
+        clean = link_budget(RadioConfig(), d)
+        noisy = link_budget(RadioConfig(), d, interference_dbm=interference)
+        assert noisy.success_probability <= clean.success_probability + 1e-12
+
+
+measure_names = st.lists(
+    st.sampled_from([m.name for m in DEFAULT_CATALOG]), max_size=10,
+)
+
+
+class TestSlProperties:
+    @given(deployed=measure_names, extra=st.sampled_from(
+        [m.name for m in DEFAULT_CATALOG]
+    ))
+    @settings(max_examples=50)
+    def test_deploying_more_never_lowers_sl(self, deployed, extra):
+        catalog = CountermeasureCatalog()
+        for fr in FOUNDATIONAL_REQUIREMENTS:
+            before = catalog.sl_capability(fr, deployed)
+            after = catalog.sl_capability(fr, deployed + [extra])
+            assert after >= before
+
+    @given(deployed=measure_names,
+           targets=st.lists(st.integers(min_value=0, max_value=4),
+                            min_size=7, max_size=7))
+    @settings(max_examples=50)
+    def test_gap_never_negative_and_bounded(self, deployed, targets):
+        catalog = CountermeasureCatalog()
+        vector = {
+            fr: level for fr, level in zip(FOUNDATIONAL_REQUIREMENTS, targets)
+        }
+        zone = Zone("z", sl_target=sl_vector(**vector),
+                    deployed_measures=deployed)
+        gaps = zone.gaps(catalog)
+        for fr, gap in gaps.items():
+            assert 1 <= gap <= 4
+            assert gap <= int(zone.sl_target[fr])
+
+
+class TestSotifProperties:
+    @given(outcomes=st.lists(st.booleans(), min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_failure_rate_is_exact_fraction(self, outcomes):
+        analysis = SotifAnalysis(min_exposures=1)
+        for failed in outcomes:
+            analysis.record_exposure("TC-01", failed)
+        condition = analysis.get("TC-01")
+        assert condition.failure_rate == sum(outcomes) / len(outcomes)
+
+    @given(n_good=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=30)
+    def test_more_clean_evidence_never_raises_residual(self, n_good):
+        sparse = SotifAnalysis(min_exposures=5)
+        rich = SotifAnalysis(min_exposures=5)
+        for condition in sparse.conditions[:3]:
+            for _ in range(5):
+                sparse.record_exposure(condition.condition_id, False)
+                rich.record_exposure(condition.condition_id, False)
+        for condition in rich.conditions[3:]:
+            for _ in range(n_good):
+                rich.record_exposure(condition.condition_id, False)
+        assert rich.residual_risk_indicator() <= sparse.residual_risk_indicator() + 1e-9

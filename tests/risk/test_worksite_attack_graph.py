@@ -1,0 +1,69 @@
+"""Tests for the worksite attack graph (attack-path work product)."""
+
+import pytest
+
+from repro.scenarios.worksite import worksite_attack_graph, worksite_item_model
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return worksite_attack_graph()
+
+
+class TestWorksiteAttackGraph:
+    def test_goals_are_item_assets(self, graph):
+        item = worksite_item_model()
+        asset_ids = {a.asset_id for a in item.assets}
+        for goal in graph.goals:
+            assert goal.removeprefix("asset:") in asset_ids
+
+    def test_every_goal_reachable(self, graph):
+        for goal in graph.goals:
+            assert graph.paths_to(goal), f"{goal} unreachable"
+
+    def test_command_channel_has_radio_and_physical_paths(self, graph):
+        paths = graph.paths_to("asset:ch-command")
+        entries = {path[0] for path in paths}
+        assert "entry:perimeter-radio" in entries
+        assert "entry:physical-access" in entries
+
+    def test_min_effort_path_to_command_is_radio(self, graph):
+        path, effort = graph.min_effort_path("asset:ch-command")
+        assert path[0] == "entry:perimeter-radio"
+        # the physical firmware route is strictly harder
+        physical_paths = [
+            p for p in graph.paths_to("asset:ch-command")
+            if p[0] == "entry:physical-access"
+        ]
+        assert physical_paths
+        for p in physical_paths:
+            cost = sum(
+                graph.graph.edges[a, b]["effort"] for a, b in zip(p, p[1:])
+            )
+            assert cost > effort
+
+    def test_command_goal_has_no_single_choke_point(self, graph):
+        # radio (inject/replay) and physical (firmware) families are
+        # disjoint: no attack type appears on every path
+        assert graph.critical_attack_types("asset:ch-command") == []
+
+    def test_eavesdropping_is_ops_data_choke_point(self, graph):
+        assert graph.critical_attack_types("asset:data-ops") == ["eavesdropping"]
+
+    def test_aead_severs_the_command_goal(self, graph):
+        assert graph.severed_by("asset:ch-command", ["secure_channel_aead"])
+
+    def test_gnss_goal_needs_gnss_defence(self, graph):
+        assert not graph.severed_by("asset:gnss-fwd", ["secure_channel_aead"])
+        assert graph.severed_by("asset:gnss-fwd", ["gnss_plausibility"])
+
+    def test_detection_goal_survives_single_measure(self, graph):
+        # detection can fall to jamming OR hijack: one measure is not enough
+        assert not graph.severed_by("asset:ch-detection", ["camera_redundancy"])
+        assert graph.severed_by(
+            "asset:ch-detection",
+            ["camera_redundancy", "channel_agility", "protected_management_frames"],
+        ) is False  # jamming has no strong (>=2) mitigation: path survives
+
+    def test_ops_data_needs_encryption(self, graph):
+        assert graph.severed_by("asset:data-ops", ["data_encryption"])

@@ -1,0 +1,139 @@
+"""Unit tests for IEC 62443 zones/conduits and attack graphs."""
+
+import pytest
+
+from repro.defense.countermeasures import CountermeasureCatalog
+from repro.risk.attack_graphs import AttackGraph
+from repro.risk.iec62443 import (
+    Conduit,
+    FOUNDATIONAL_REQUIREMENTS,
+    SecurityLevel,
+    Zone,
+    ZoneModel,
+    ZoneModelError,
+    sl_vector,
+)
+
+
+class TestSlVector:
+    def test_defaults_to_sl0(self):
+        vector = sl_vector()
+        assert all(v is SecurityLevel.SL0 for v in vector.values())
+        assert set(vector) == set(FOUNDATIONAL_REQUIREMENTS)
+
+    def test_partial_specification(self):
+        vector = sl_vector(FR1=2, FR6=3)
+        assert vector["FR1"] is SecurityLevel.SL2
+        assert vector["FR6"] is SecurityLevel.SL3
+        assert vector["FR4"] is SecurityLevel.SL0
+
+    def test_unknown_fr_rejected(self):
+        with pytest.raises(KeyError):
+            sl_vector(FR9=1)
+
+
+class TestZone:
+    def test_sl_achieved_from_measures(self):
+        catalog = CountermeasureCatalog()
+        zone = Zone("z", sl_target=sl_vector(FR1=3),
+                    deployed_measures=["pki_mutual_auth"])
+        achieved = zone.sl_achieved(catalog)
+        assert achieved["FR1"] is SecurityLevel.SL3
+
+    def test_gap_analysis(self):
+        catalog = CountermeasureCatalog()
+        zone = Zone("z", sl_target=sl_vector(FR1=3, FR6=2))
+        gaps = zone.gaps(catalog)
+        assert gaps == {"FR1": 3, "FR6": 2}
+        assert not zone.compliant(catalog)
+        zone.deployed_measures = ["pki_mutual_auth", "signature_ids"]
+        assert zone.compliant(catalog)
+
+    def test_safety_zone_requires_fr3_fr6(self):
+        model = ZoneModel()
+        with pytest.raises(ZoneModelError, match="SL-T >= 2"):
+            model.add_zone(Zone("s", safety_related=True,
+                                sl_target=sl_vector(FR3=1, FR6=3)))
+
+    def test_duplicate_zone_rejected(self):
+        model = ZoneModel()
+        model.add_zone(Zone("z"))
+        with pytest.raises(ZoneModelError):
+            model.add_zone(Zone("z"))
+
+    def test_conduit_endpoints_must_exist(self):
+        model = ZoneModel()
+        model.add_zone(Zone("a"))
+        with pytest.raises(ZoneModelError):
+            model.add_conduit(Conduit("c", zone_a="a", zone_b="ghost"))
+
+    def test_assessment_report_shape(self):
+        model = ZoneModel()
+        model.add_zone(Zone("a", sl_target=sl_vector(FR1=1)))
+        model.add_zone(Zone("b"))
+        model.add_conduit(Conduit("c", zone_a="a", zone_b="b"))
+        report = model.assessment()
+        assert set(report) == {"zone:a", "zone:b", "conduit:c"}
+        assert "gaps" in report["zone:a"]
+
+    def test_total_gap_sums(self):
+        model = ZoneModel()
+        model.add_zone(Zone("a", sl_target=sl_vector(FR1=2, FR2=1)))
+        assert model.total_gap() == 3
+
+    def test_zone_of_system(self):
+        model = ZoneModel()
+        model.add_zone(Zone("a", systems=["fwd"]))
+        assert model.zone_of_system("fwd").name == "a"
+        assert model.zone_of_system("ghost") is None
+
+
+class TestAttackGraph:
+    def _graph(self):
+        graph = AttackGraph()
+        entry = graph.add_entry("perimeter")
+        radio = graph.add_state("radio-access")
+        goal = graph.add_goal("ch-command")
+        graph.add_action(entry, radio, "wifi_deauth")
+        graph.add_action(radio, goal, "message_injection")
+        # a second, harder path
+        physical = graph.add_state("physical-access")
+        graph.add_action(entry, physical, "firmware_tampering")
+        graph.add_action(physical, goal, "message_injection")
+        return graph, entry, goal
+
+    def test_paths_enumeration(self):
+        graph, _, goal = self._graph()
+        paths = graph.paths_to(goal)
+        assert len(paths) == 2
+
+    def test_min_effort_path_prefers_easy_route(self):
+        graph, _, goal = self._graph()
+        path, effort = graph.min_effort_path(goal)
+        assert "radio-access" in path
+        assert "physical-access" not in path
+
+    def test_path_attack_types(self):
+        graph, _, goal = self._graph()
+        path, _ = graph.min_effort_path(goal)
+        types = graph.path_attack_types(path)
+        assert types == ["wifi_deauth", "message_injection"]
+
+    def test_critical_attack_types_are_choke_points(self):
+        graph, _, goal = self._graph()
+        assert graph.critical_attack_types(goal) == ["message_injection"]
+
+    def test_severed_by_strong_mitigation(self):
+        graph, _, goal = self._graph()
+        # blocking injection (the choke point) severs all paths
+        assert graph.severed_by(goal, ["secure_channel_aead"])
+        # blocking only deauth leaves the physical path alive
+        assert not graph.severed_by(goal, ["protected_management_frames"])
+
+    def test_unreachable_goal(self):
+        graph = AttackGraph()
+        graph.add_entry("e")
+        goal = graph.add_goal("asset")
+        assert graph.min_effort_path(goal) is None
+        assert graph.paths_to(goal) == []
+        assert graph.severed_by(goal, [])

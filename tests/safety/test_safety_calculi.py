@@ -1,0 +1,192 @@
+"""Unit tests for hazards/risk graph, ISO 13849 PL calculus and SOTIF."""
+
+import pytest
+
+from repro.safety.hazards import (
+    Avoidance,
+    Exposure,
+    Hazard,
+    HazardCatalog,
+    Severity,
+    risk_graph,
+)
+from repro.safety.iso13849 import (
+    Category,
+    DiagnosticCoverage,
+    MttfdBand,
+    PerformanceLevel,
+    PlEvaluationError,
+    SafetyFunctionDesign,
+    achieved_pl,
+    dc_band,
+    mttfd_band,
+    pfhd_midpoint,
+    PFHD_BANDS,
+)
+from repro.safety.sotif import ScenarioArea, SotifAnalysis, TriggeringCondition
+
+
+class TestRiskGraph:
+    def test_worst_case_is_ple(self):
+        result = risk_graph(Severity.S2, Exposure.F2, Avoidance.P2)
+        assert result.plr == "e"
+
+    def test_best_case_is_pla(self):
+        result = risk_graph(Severity.S1, Exposure.F1, Avoidance.P1)
+        assert result.plr == "a"
+
+    def test_all_combinations_defined(self):
+        for s in Severity:
+            for f in Exposure:
+                for p in Avoidance:
+                    assert risk_graph(s, f, p).plr in "abcde"
+
+    def test_monotone_in_each_parameter(self):
+        order = "abcde"
+        base = risk_graph(Severity.S1, Exposure.F1, Avoidance.P1).plr
+        worse_s = risk_graph(Severity.S2, Exposure.F1, Avoidance.P1).plr
+        worse_f = risk_graph(Severity.S1, Exposure.F2, Avoidance.P1).plr
+        worse_p = risk_graph(Severity.S1, Exposure.F1, Avoidance.P2).plr
+        for worse in (worse_s, worse_f, worse_p):
+            assert order.index(worse) >= order.index(base)
+
+
+class TestHazardCatalog:
+    def test_worksite_catalog_loads(self):
+        catalog = HazardCatalog()
+        assert len(catalog) == 8
+        assert catalog.get("HZ-01").machine == "forwarder"
+
+    def test_cyber_coupled_subset(self):
+        catalog = HazardCatalog()
+        coupled = catalog.cyber_coupled()
+        assert 0 < len(coupled) < len(catalog)
+        assert all(h.cyber_coupled for h in coupled)
+
+    def test_degraded_hazard_raises_plr(self):
+        hazard = Hazard("H", "x", "m", Severity.S2, Exposure.F1, Avoidance.P1)
+        assert hazard.required_pl() == "c"
+        worse = hazard.degraded(avoidance=Avoidance.P2)
+        assert worse.required_pl() == "d"
+
+    def test_duplicate_ids_rejected(self):
+        h = Hazard("H", "x", "m", Severity.S1, Exposure.F1, Avoidance.P1)
+        with pytest.raises(ValueError):
+            HazardCatalog([h, h])
+
+    def test_for_machine(self):
+        catalog = HazardCatalog()
+        assert all(h.machine == "drone" for h in catalog.for_machine("drone"))
+
+
+class TestBands:
+    def test_mttfd_bands(self):
+        assert mttfd_band(5.0) is MttfdBand.LOW
+        assert mttfd_band(15.0) is MttfdBand.MEDIUM
+        assert mttfd_band(50.0) is MttfdBand.HIGH
+        assert mttfd_band(100.0) is MttfdBand.HIGH
+
+    def test_mttfd_out_of_range(self):
+        with pytest.raises(ValueError):
+            mttfd_band(2.0)
+        with pytest.raises(ValueError):
+            mttfd_band(150.0)
+
+    def test_dc_bands(self):
+        assert dc_band(0.3) is DiagnosticCoverage.NONE
+        assert dc_band(0.7) is DiagnosticCoverage.LOW
+        assert dc_band(0.95) is DiagnosticCoverage.MEDIUM
+        assert dc_band(0.995) is DiagnosticCoverage.HIGH
+
+    def test_dc_out_of_range(self):
+        with pytest.raises(ValueError):
+            dc_band(1.5)
+
+
+class TestAchievedPl:
+    def test_cat3_medium_dc_high_mttfd_is_pld(self):
+        design = SafetyFunctionDesign("f", Category.CAT3, 50.0, 0.95)
+        assert achieved_pl(design) is PerformanceLevel.D
+
+    def test_cat4_is_ple(self):
+        design = SafetyFunctionDesign("f", Category.CAT4, 80.0, 0.995)
+        assert achieved_pl(design) is PerformanceLevel.E
+
+    def test_cat_b_low_mttfd_is_pla(self):
+        design = SafetyFunctionDesign("f", Category.B, 5.0, 0.0)
+        assert achieved_pl(design) is PerformanceLevel.A
+
+    def test_cat1_requires_high_mttfd(self):
+        with pytest.raises(PlEvaluationError):
+            achieved_pl(SafetyFunctionDesign("f", Category.CAT1, 15.0, 0.0))
+        assert achieved_pl(
+            SafetyFunctionDesign("f", Category.CAT1, 50.0, 0.0)
+        ) is PerformanceLevel.C
+
+    def test_cat3_without_dc_rejected(self):
+        with pytest.raises(PlEvaluationError):
+            achieved_pl(SafetyFunctionDesign("f", Category.CAT3, 50.0, 0.3))
+
+    def test_cat4_without_high_dc_rejected(self):
+        with pytest.raises(PlEvaluationError):
+            achieved_pl(SafetyFunctionDesign("f", Category.CAT4, 80.0, 0.95))
+
+    def test_missing_ccf_rejected_for_cat234(self):
+        with pytest.raises(PlEvaluationError):
+            achieved_pl(
+                SafetyFunctionDesign("f", Category.CAT3, 50.0, 0.95,
+                                     ccf_adequate=False)
+            )
+
+    def test_satisfies_ordering(self):
+        assert PerformanceLevel.D.satisfies(PerformanceLevel.C)
+        assert PerformanceLevel.D.satisfies(PerformanceLevel.D)
+        assert not PerformanceLevel.C.satisfies(PerformanceLevel.D)
+
+    def test_pfhd_bands_ordered_and_midpoints_inside(self):
+        for pl, (lo, hi) in PFHD_BANDS.items():
+            assert lo < hi
+            assert lo <= pfhd_midpoint(pl) <= hi
+        assert pfhd_midpoint(PerformanceLevel.E) < pfhd_midpoint(PerformanceLevel.A)
+
+
+class TestSotif:
+    def test_unevaluated_conditions_are_unknown_unsafe(self):
+        analysis = SotifAnalysis()
+        counts = analysis.area_counts()
+        assert counts[ScenarioArea.UNKNOWN_UNSAFE] == len(analysis.conditions)
+
+    def test_good_evidence_moves_to_known_safe(self):
+        analysis = SotifAnalysis(min_exposures=10, acceptance_rate=0.1)
+        for _ in range(20):
+            analysis.record_exposure("TC-01", failed=False)
+        assert analysis.area_of(analysis.get("TC-01")) is ScenarioArea.KNOWN_SAFE
+
+    def test_bad_evidence_moves_to_known_unsafe(self):
+        analysis = SotifAnalysis(min_exposures=10, acceptance_rate=0.1)
+        for i in range(20):
+            analysis.record_exposure("TC-01", failed=(i % 2 == 0))
+        assert analysis.area_of(analysis.get("TC-01")) is ScenarioArea.KNOWN_UNSAFE
+
+    def test_residual_risk_decreases_with_evidence(self):
+        blind = SotifAnalysis()
+        evaluated = SotifAnalysis(min_exposures=10)
+        for condition in evaluated.conditions:
+            for _ in range(20):
+                evaluated.record_exposure(condition.condition_id, failed=False)
+        assert evaluated.residual_risk_indicator() < blind.residual_risk_indicator()
+
+    def test_improvement_over_baseline(self):
+        baseline = SotifAnalysis(min_exposures=10)
+        improved = SotifAnalysis(min_exposures=10)
+        for condition in baseline.conditions:
+            for i in range(20):
+                baseline.record_exposure(condition.condition_id, failed=(i % 3 == 0))
+                improved.record_exposure(condition.condition_id, failed=False)
+        assert improved.improvement_over(baseline) > 0.0
+
+    def test_failure_rate_none_before_exposure(self):
+        condition = TriggeringCondition("T", "x", "c")
+        assert condition.failure_rate is None
+        condition.record(True)
+        assert condition.failure_rate == 1.0

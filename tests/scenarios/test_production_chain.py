@@ -1,0 +1,35 @@
+"""Tests for the partially-autonomous production chain: manual harvester
+piles feed the autonomous forwarder's mission."""
+
+from repro.scenarios.worksite import ScenarioConfig, build_worksite
+
+
+class TestProductionChain:
+    def test_harvester_piles_join_the_mission(self):
+        scenario = build_worksite(ScenarioConfig(seed=3))
+        initial = len(scenario.mission.piles)
+        scenario.run(2400.0)
+        produced = len(scenario.harvester.piles_produced)
+        assert produced >= 1
+        assert len(scenario.mission.piles) == initial + produced
+
+    def test_idle_forwarder_restarts_on_new_pile(self):
+        # tiny initial inventory: the forwarder finishes it, idles, and must
+        # wake when the harvester produces more
+        config = ScenarioConfig(seed=3, pile_volume_m3=12.0)
+        scenario = build_worksite(config)
+        scenario.run(5400.0)
+        # it delivered more than the initial inventory
+        assert scenario.mission.delivered_m3 > config.pile_volume_m3
+
+    def test_total_volume_conserved(self):
+        scenario = build_worksite(ScenarioConfig(seed=4))
+        scenario.run(3600.0)
+        produced_total = (
+            scenario.config.pile_volume_m3
+            + sum(15.0 for _ in scenario.harvester.piles_produced)
+        )
+        remaining = scenario.mission.total_remaining_m3
+        in_transit = scenario.forwarder.load_m3
+        delivered = scenario.mission.delivered_m3
+        assert delivered + remaining + in_transit == produced_total

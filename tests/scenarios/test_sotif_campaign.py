@@ -1,0 +1,72 @@
+"""Tests for the SOTIF evidence-collection campaign."""
+
+import pytest
+
+from repro.safety.sotif import ScenarioArea, SotifAnalysis
+from repro.scenarios.sotif_campaign import (
+    CONDITION_SETUPS,
+    episode_failed,
+    run_sotif_campaign,
+)
+
+
+class TestConditionSetups:
+    def test_every_catalog_condition_has_a_setup(self):
+        analysis = SotifAnalysis()
+        catalog_ids = {c.condition_id for c in analysis.conditions}
+        setup_ids = {s.condition_id for s in CONDITION_SETUPS}
+        assert setup_ids == catalog_ids
+
+    def test_tc07_forces_drone_off(self):
+        tc07 = next(s for s in CONDITION_SETUPS if s.condition_id == "TC-07")
+        assert tc07.config_overrides["drone_enabled"] is False
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def campaigns(self):
+        with_drone = run_sotif_campaign(
+            drone_enabled=True, exposures_per_condition=3, base_seed=700,
+        )
+        without = run_sotif_campaign(
+            drone_enabled=False, exposures_per_condition=3, base_seed=750,
+        )
+        return with_drone, without
+
+    def test_exposures_recorded_for_all_conditions(self, campaigns):
+        with_drone, _ = campaigns
+        assert with_drone.episodes_run == 3 * len(CONDITION_SETUPS)
+        for condition in with_drone.analysis.conditions:
+            assert condition.exposures == 3
+
+    def test_collaborative_design_not_worse(self, campaigns):
+        with_drone, without = campaigns
+        assert sum(with_drone.failures_by_condition.values()) <= sum(
+            without.failures_by_condition.values()
+        )
+
+    def test_evidence_moves_conditions_out_of_unknown(self, campaigns):
+        with_drone, _ = campaigns
+        areas = with_drone.analysis.area_counts()
+        # min_exposures == exposures_per_condition: everything evaluated
+        assert areas[ScenarioArea.UNKNOWN_UNSAFE] == 0
+
+    def test_reuses_supplied_analysis(self):
+        analysis = SotifAnalysis(min_exposures=2)
+        result = run_sotif_campaign(
+            exposures_per_condition=2, analysis=analysis, base_seed=800,
+        )
+        assert result.analysis is analysis
+        assert analysis.get("TC-01").exposures == 2
+
+
+class TestFailureCriterion:
+    def test_failure_is_endangerment(self):
+        class FakeResult:
+            stopped_in_time = False
+
+        class SafeResult:
+            stopped_in_time = True
+
+        assert episode_failed(FakeResult())
+        assert not episode_failed(SafeResult())

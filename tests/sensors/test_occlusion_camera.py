@@ -1,0 +1,130 @@
+"""Unit tests for occlusion analysis and the camera model."""
+
+import math
+
+import pytest
+
+from repro.sensors.camera import Camera
+from repro.sensors.occlusion import OcclusionModel
+from repro.sim.engine import Simulator
+from repro.sim.entities import Entity
+from repro.sim.events import EventLog
+from repro.sim.geometry import Vec2
+from repro.sim.terrain import Ridge, Terrain
+from repro.sim.world import Tree, World
+
+
+@pytest.fixture
+def ridge_world():
+    ridge = Ridge(center=Vec2(50, 50), height=12.0, sigma=6.0)
+    return World(Terrain(100, 100, ridges=[ridge]))
+
+
+@pytest.fixture
+def canopy_world():
+    world = World(Terrain(100, 100))
+    for x in (45, 50, 55):
+        # trees sit just off the sight line: canopy overlaps it, trunks miss
+        world.add_tree(Tree(Vec2(float(x), 50.6), canopy_radius=3.0, trunk_radius=0.3))
+    return world
+
+
+class TestSightLine:
+    def test_clear_line_full_visibility(self, flat_world):
+        occ = OcclusionModel(flat_world)
+        line = occ.sight_line(Vec2(10, 10), 2.0, Vec2(40, 10))
+        assert line.clear
+        assert line.visibility == 1.0
+        assert line.distance == 30.0
+
+    def test_ridge_blocks_ground_observer(self, ridge_world):
+        occ = OcclusionModel(ridge_world)
+        line = occ.sight_line(Vec2(20, 50), 3.0, Vec2(80, 50))
+        assert line.terrain_blocked
+        assert line.visibility == 0.0
+
+    def test_elevated_observer_sees_over_ridge(self, ridge_world):
+        occ = OcclusionModel(ridge_world)
+        line = occ.sight_line(Vec2(20, 50), 45.0, Vec2(80, 50))
+        assert not line.terrain_blocked
+        assert line.visibility > 0.5
+
+    def test_canopy_attenuates_exponentially(self, canopy_world):
+        occ = OcclusionModel(canopy_world, canopy_extinction=0.12)
+        line = occ.sight_line(Vec2(30, 50), 2.0, Vec2(70, 50))
+        assert not line.trunk_blocked
+        assert line.canopy_metres > 10.0
+        assert 0.0 < line.visibility < 0.3
+
+    def test_trunk_blocks_horizontal_line(self):
+        world = World(Terrain(100, 100))
+        world.add_tree(Tree(Vec2(50, 50), trunk_radius=0.5, canopy_radius=0.01))
+        occ = OcclusionModel(world)
+        line = occ.sight_line(Vec2(40, 50), 2.0, Vec2(60, 50))
+        assert line.trunk_blocked
+        assert line.visibility == 0.0
+
+    def test_steep_line_ignores_trunks(self):
+        world = World(Terrain(100, 100))
+        world.add_tree(Tree(Vec2(50, 50), trunk_radius=0.5, canopy_radius=0.01))
+        occ = OcclusionModel(world)
+        # observer nearly overhead: elevation above the 35 degree threshold
+        line = occ.sight_line(Vec2(48, 50), 60.0, Vec2(52, 50))
+        assert not line.trunk_blocked
+
+    def test_elevation_angle_computed(self, flat_world):
+        occ = OcclusionModel(flat_world)
+        line = occ.sight_line(Vec2(0, 0), 41.5, Vec2(40, 0), 1.5)
+        assert math.isclose(line.elevation_angle, math.atan2(40.0, 40.0), rel_tol=0.01)
+
+
+class TestCamera:
+    def _carrier(self, sim, log, position=Vec2(10, 10), altitude=0.0):
+        carrier = Entity("carrier", sim, log, position)
+        carrier.state.altitude = altitude
+        return carrier
+
+    def test_quality_falls_with_range(self, sim, log, flat_world):
+        occ = OcclusionModel(flat_world)
+        carrier = self._carrier(sim, log)
+        camera = Camera("cam", carrier, occ, nominal_range=40.0)
+        near = Entity("near", sim, log, Vec2(15, 10))
+        far = Entity("far", sim, log, Vec2(90, 10))
+        assert camera.image_quality(0.0, near) > camera.image_quality(0.0, far)
+
+    def test_quality_halves_at_nominal_range(self, sim, log, flat_world):
+        occ = OcclusionModel(flat_world)
+        carrier = self._carrier(sim, log)
+        camera = Camera("cam", carrier, occ, nominal_range=40.0)
+        target = Entity("t", sim, log, Vec2(50, 10))
+        assert camera.image_quality(0.0, target) == pytest.approx(0.5, abs=0.02)
+
+    def test_fov_limits(self, sim, log, flat_world):
+        occ = OcclusionModel(flat_world)
+        carrier = self._carrier(sim, log)
+        carrier.state.heading = 0.0  # facing +x
+        camera = Camera("cam", carrier, occ, fov_deg=90.0)
+        ahead = Entity("a", sim, log, Vec2(30, 10))
+        behind = Entity("b", sim, log, Vec2(-10, 10))
+        assert camera.in_fov(ahead)
+        assert not camera.in_fov(behind)
+        assert camera.image_quality(0.0, behind) == 0.0
+
+    def test_blinded_camera_sees_nothing(self, sim, log, flat_world):
+        occ = OcclusionModel(flat_world)
+        carrier = self._carrier(sim, log)
+        camera = Camera("cam", carrier, occ)
+        target = Entity("t", sim, log, Vec2(20, 10))
+        camera.blind(0.0, 5.0, attacker="atk")
+        assert camera.image_quality(2.0, target) == 0.0
+        assert camera.image_quality(6.0, target) > 0.0
+        assert log.count("sensor_blinded") == 1
+
+    def test_observe_produces_per_target_records(self, sim, log, flat_world):
+        occ = OcclusionModel(flat_world)
+        carrier = self._carrier(sim, log)
+        camera = Camera("cam", carrier, occ)
+        targets = [Entity(f"t{i}", sim, log, Vec2(20 + i, 10)) for i in range(3)]
+        observations = camera.observe(0.0, targets + [carrier])
+        assert len(observations) == 3  # carrier itself skipped
+        assert all(o.sensor == "cam" for o in observations)

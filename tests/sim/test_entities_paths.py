@@ -1,0 +1,139 @@
+"""Unit tests for entity kinematics and the grid path planner."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.entities import Entity
+from repro.sim.events import EventLog
+from repro.sim.geometry import Vec2
+from repro.sim.paths import GridPlanner, PathNotFound
+from repro.sim.terrain import Terrain
+from repro.sim.world import Tree, World
+
+
+def make_entity(sim, log, position=Vec2(0, 0), **kwargs):
+    return Entity("e", sim, log, position, **kwargs)
+
+
+class TestEntityKinematics:
+    def test_reaches_waypoint(self, sim, log):
+        entity = make_entity(sim, log, max_speed=2.0)
+        entity.set_route([Vec2(10, 0)])
+        sim.run_until(30.0)
+        assert entity.position == Vec2(10, 0)
+        assert entity.is_idle()
+
+    def test_respects_max_speed(self, sim, log):
+        entity = make_entity(sim, log, max_speed=1.0)
+        entity.set_route([Vec2(100, 0)])
+        sim.run_until(10.0)
+        assert entity.position.x <= 10.5  # v*t plus one tick slack
+
+    def test_acceleration_limit(self, sim, log):
+        entity = make_entity(sim, log, max_speed=10.0, max_accel=1.0)
+        entity.set_route([Vec2(1000, 0)])
+        sim.run_until(2.0)
+        assert entity.state.speed <= 2.0 + 1e-9
+
+    def test_multi_waypoint_route(self, sim, log):
+        entity = make_entity(sim, log, max_speed=5.0)
+        entity.set_route([Vec2(10, 0), Vec2(10, 10)])
+        sim.run_until(60.0)
+        assert entity.position == Vec2(10, 10)
+
+    def test_stop_and_resume(self, sim, log):
+        entity = make_entity(sim, log, max_speed=2.0)
+        entity.set_route([Vec2(100, 0)])
+        sim.run_until(5.0)
+        entity.stop()
+        sim.run_until(10.0)
+        x_stopped = entity.position.x
+        sim.run_until(15.0)
+        assert entity.position.x == pytest.approx(x_stopped, abs=0.1)
+        entity.resume()
+        sim.run_until(25.0)
+        assert entity.position.x > x_stopped + 5.0
+
+    def test_halt_is_instant(self, sim, log):
+        entity = make_entity(sim, log, max_speed=2.0)
+        entity.set_route([Vec2(100, 0)])
+        sim.run_until(5.0)
+        entity.halt()
+        assert entity.state.speed == 0.0
+
+    def test_route_complete_hook(self, sim, log):
+        calls = []
+
+        class Hooked(Entity):
+            def on_route_complete(self):
+                calls.append(self.sim.now)
+
+        entity = Hooked("h", sim, log, Vec2(0, 0), max_speed=5.0)
+        entity.set_route([Vec2(5, 0)])
+        sim.run_until(30.0)
+        assert len(calls) == 1
+
+    def test_deactivate_stops_motion(self, sim, log):
+        entity = make_entity(sim, log, max_speed=2.0)
+        entity.set_route([Vec2(100, 0)])
+        sim.run_until(2.0)
+        entity.deactivate()
+        position = entity.position
+        sim.run_until(10.0)
+        assert entity.position == position
+        assert not entity.alive
+
+    def test_distance_travelled_accumulates(self, sim, log):
+        entity = make_entity(sim, log, max_speed=2.0)
+        entity.set_route([Vec2(10, 0)])
+        sim.run_until(30.0)
+        assert entity.distance_travelled == pytest.approx(10.0, abs=0.5)
+
+
+class TestGridPlanner:
+    def test_straight_path_on_empty_world(self, flat_world):
+        planner = GridPlanner(flat_world)
+        path = planner.plan(Vec2(10, 10), Vec2(90, 90))
+        assert path[-1] == Vec2(90, 90)
+        assert len(path) <= 3  # smoothing collapses the straight line
+
+    def test_path_avoids_tree_wall(self):
+        world = World(Terrain(100, 100))
+        for y in range(20, 81, 2):
+            world.add_tree(Tree(Vec2(50, float(y)), trunk_radius=0.5))
+        planner = GridPlanner(world, cell_size=2.0)
+        path = planner.plan(Vec2(10, 50), Vec2(90, 50))
+        # path must detour around the wall ends (y<20 or y>80)
+        full = [Vec2(10, 50)] + path
+        for a, b in zip(full, full[1:]):
+            for k in range(20):
+                p = a.lerp(b, k / 20.0)
+                assert world.is_traversable(p, clearance=1.0) or p.distance_to(
+                    Vec2(10, 50)
+                ) < 1.0 or p.distance_to(Vec2(90, 50)) < 1.0
+
+    def test_endpoint_snapping(self):
+        world = World(Terrain(100, 100))
+        world.add_tree(Tree(Vec2(50, 50), trunk_radius=0.5))
+        planner = GridPlanner(world)
+        # goal right next to the trunk snaps to a nearby free cell
+        path = planner.plan(Vec2(10, 10), Vec2(50.5, 50.5))
+        assert path  # does not raise
+
+    def test_unreachable_goal_raises(self):
+        world = World(Terrain(100, 100))
+        # box the goal in with dense trunks
+        for dx in range(-6, 7):
+            for dy in range(-6, 7):
+                if max(abs(dx), abs(dy)) >= 4:
+                    world.add_tree(
+                        Tree(Vec2(50 + dx, 50 + dy), trunk_radius=0.9)
+                    )
+        planner = GridPlanner(world, cell_size=2.0)
+        with pytest.raises(PathNotFound):
+            planner.plan(Vec2(10, 10), Vec2(50, 50))
+
+    def test_same_cell_short_path(self, flat_world):
+        planner = GridPlanner(flat_world)
+        path = planner.plan(Vec2(10, 10), Vec2(10.5, 10.5))
+        assert path == [Vec2(10.5, 10.5)]

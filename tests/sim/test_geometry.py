@@ -1,0 +1,130 @@
+"""Unit tests for 2-D geometry."""
+
+import math
+
+import pytest
+
+from repro.sim.geometry import Segment, Vec2, angle_difference, bounding_box
+
+
+class TestVec2:
+    def test_add_sub(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+        assert Vec2(3, 4) - Vec2(1, 2) == Vec2(2, 2)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Vec2(1, 2) * 3 == Vec2(3, 6)
+        assert 3 * Vec2(1, 2) == Vec2(3, 6)
+
+    def test_negation(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_dot_and_cross(self):
+        assert Vec2(1, 0).dot(Vec2(0, 1)) == 0.0
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1.0
+        assert Vec2(0, 1).cross(Vec2(1, 0)) == -1.0
+
+    def test_norm(self):
+        assert Vec2(3, 4).norm() == 5.0
+        assert Vec2(3, 4).norm_sq() == 25.0
+
+    def test_distance(self):
+        assert Vec2(0, 0).distance_to(Vec2(3, 4)) == 5.0
+
+    def test_normalized(self):
+        n = Vec2(3, 4).normalized()
+        assert math.isclose(n.norm(), 1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            Vec2(0, 0).normalized()
+
+    def test_heading(self):
+        assert Vec2(1, 0).heading() == 0.0
+        assert math.isclose(Vec2(0, 1).heading(), math.pi / 2)
+
+    def test_rotated_quarter_turn(self):
+        r = Vec2(1, 0).rotated(math.pi / 2)
+        assert math.isclose(r.x, 0.0, abs_tol=1e-12)
+        assert math.isclose(r.y, 1.0)
+
+    def test_lerp_endpoints_and_middle(self):
+        a, b = Vec2(0, 0), Vec2(10, 20)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Vec2(5, 10)
+
+    def test_from_polar(self):
+        p = Vec2.from_polar(2.0, math.pi / 2)
+        assert math.isclose(p.x, 0.0, abs_tol=1e-12)
+        assert math.isclose(p.y, 2.0)
+
+    def test_immutability(self):
+        v = Vec2(1, 2)
+        with pytest.raises(AttributeError):
+            v.x = 5
+
+
+class TestSegment:
+    def test_length(self):
+        assert Segment(Vec2(0, 0), Vec2(3, 4)).length() == 5.0
+
+    def test_point_at(self):
+        seg = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert seg.point_at(0.3) == Vec2(3, 0)
+
+    def test_distance_to_point_perpendicular(self):
+        seg = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert seg.distance_to_point(Vec2(5, 3)) == 3.0
+
+    def test_distance_to_point_beyond_endpoint(self):
+        seg = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert seg.distance_to_point(Vec2(13, 4)) == 5.0
+
+    def test_degenerate_segment(self):
+        seg = Segment(Vec2(1, 1), Vec2(1, 1))
+        assert seg.distance_to_point(Vec2(4, 5)) == 5.0
+
+    def test_intersects_circle(self):
+        seg = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert seg.intersects_circle(Vec2(5, 1), 2.0)
+        assert not seg.intersects_circle(Vec2(5, 5), 2.0)
+
+    def test_circle_intersection_params_full_crossing(self):
+        seg = Segment(Vec2(-10, 0), Vec2(10, 0))
+        params = seg.circle_intersection_params(Vec2(0, 0), 5.0)
+        assert params is not None
+        t0, t1 = params
+        # chord length = (t1 - t0) * 20 = 10
+        assert math.isclose((t1 - t0) * 20.0, 10.0)
+
+    def test_circle_intersection_params_miss(self):
+        seg = Segment(Vec2(-10, 10), Vec2(10, 10))
+        assert seg.circle_intersection_params(Vec2(0, 0), 5.0) is None
+
+    def test_circle_intersection_outside_segment_range(self):
+        seg = Segment(Vec2(10, 0), Vec2(20, 0))
+        assert seg.circle_intersection_params(Vec2(0, 0), 5.0) is None
+
+
+class TestHelpers:
+    def test_angle_difference_wraps(self):
+        assert math.isclose(angle_difference(0.1, -0.1), 0.2)
+        assert math.isclose(
+            abs(angle_difference(math.pi - 0.05, -math.pi + 0.05)), 0.1, abs_tol=1e-9
+        )
+
+    def test_angle_difference_range(self):
+        for a in (-6.0, -3.0, 0.0, 3.0, 6.0):
+            for b in (-6.0, 0.0, 6.0):
+                d = angle_difference(a, b)
+                assert -math.pi <= d <= math.pi
+
+    def test_bounding_box(self):
+        lo, hi = bounding_box([Vec2(1, 5), Vec2(-2, 3), Vec2(4, -1)])
+        assert lo == Vec2(-2, -1)
+        assert hi == Vec2(4, 5)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

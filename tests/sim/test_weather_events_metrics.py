@@ -1,0 +1,156 @@
+"""Unit tests for weather, the event log and metrics."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventCategory, EventLog
+from repro.sim.metrics import MetricsCollector, SeriesSummary
+from repro.sim.rng import RngStreams
+from repro.sim.weather import Weather, WeatherState
+
+
+class TestWeather:
+    def test_initial_state(self):
+        sim = Simulator()
+        weather = Weather(sim, RngStreams(1), initial=WeatherState.FOG)
+        assert weather.state is WeatherState.FOG
+        assert weather.conditions().visibility < 0.5
+
+    def test_frozen_weather_never_changes(self):
+        sim = Simulator()
+        weather = Weather(sim, RngStreams(1), frozen=True)
+        sim.run_until(100000.0)
+        assert weather.state is WeatherState.CLEAR
+        assert len(weather.history) == 1
+
+    def test_transitions_happen(self):
+        sim = Simulator()
+        weather = Weather(sim, RngStreams(1), mean_dwell_s=100.0)
+        sim.run_until(5000.0)
+        assert len(weather.history) > 3
+
+    def test_transitions_follow_matrix(self):
+        """No transition may leave the declared adjacency."""
+        from repro.sim.weather import _TRANSITIONS
+
+        sim = Simulator()
+        weather = Weather(sim, RngStreams(7), mean_dwell_s=50.0)
+        sim.run_until(20000.0)
+        states = [s for _, s in weather.history]
+        for a, b in zip(states, states[1:]):
+            assert b in _TRANSITIONS[a], f"illegal transition {a} -> {b}"
+
+    def test_listener_called_on_change(self):
+        sim = Simulator()
+        weather = Weather(sim, RngStreams(1), mean_dwell_s=100.0)
+        seen = []
+        weather.subscribe(seen.append)
+        sim.run_until(5000.0)
+        assert seen == [s for _, s in weather.history[1:]]
+
+    def test_force_state(self):
+        sim = Simulator()
+        weather = Weather(sim, RngStreams(1), frozen=True)
+        weather.force_state(WeatherState.HEAVY_RAIN)
+        assert weather.state is WeatherState.HEAVY_RAIN
+        assert weather.conditions().precipitation > 0.8
+
+    def test_deterministic_history(self):
+        def history(seed):
+            sim = Simulator()
+            weather = Weather(sim, RngStreams(seed), mean_dwell_s=100.0)
+            sim.run_until(10000.0)
+            return weather.history
+
+        assert history(5) == history(5)
+
+
+class TestEventLog:
+    def test_emit_and_query(self):
+        log = EventLog()
+        log.emit(1.0, EventCategory.SAFETY, "safe_stop", "fwd", reason="test")
+        assert len(log) == 1
+        assert log.count("safe_stop") == 1
+        assert log.of_kind("safe_stop")[0].data["reason"] == "test"
+
+    def test_category_filter(self):
+        log = EventLog()
+        log.emit(1.0, EventCategory.SAFETY, "a", "x")
+        log.emit(2.0, EventCategory.COMMS, "b", "y")
+        assert len(log.of_category(EventCategory.SAFETY)) == 1
+
+    def test_between(self):
+        log = EventLog()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            log.emit(t, EventCategory.SYSTEM, "tick", "t")
+        assert len(log.between(2.0, 3.0)) == 2
+
+    def test_last(self):
+        log = EventLog()
+        log.emit(1.0, EventCategory.SYSTEM, "tick", "a")
+        log.emit(2.0, EventCategory.SYSTEM, "tick", "b")
+        assert log.last("tick").source == "b"
+        assert log.last("missing") is None
+
+    def test_category_subscription(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append, EventCategory.ATTACK)
+        log.emit(1.0, EventCategory.ATTACK, "jam", "atk")
+        log.emit(2.0, EventCategory.COMMS, "frame", "n")
+        assert [e.kind for e in seen] == ["jam"]
+
+    def test_wildcard_subscription(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.emit(1.0, EventCategory.ATTACK, "jam", "atk")
+        log.emit(2.0, EventCategory.COMMS, "frame", "n")
+        assert len(seen) == 2
+
+
+class TestMetrics:
+    def test_counters(self):
+        metrics = MetricsCollector()
+        metrics.increment("a")
+        metrics.increment("a", 2.0)
+        assert metrics.counter("a") == 3.0
+        assert metrics.counter("missing") == 0.0
+
+    def test_gauges(self):
+        metrics = MetricsCollector()
+        metrics.set_gauge("g", 1.5)
+        assert metrics.gauge("g") == 1.5
+        assert metrics.gauge("other", default=-1.0) == -1.0
+
+    def test_series_and_summary(self):
+        metrics = MetricsCollector()
+        for t, v in enumerate([1.0, 2.0, 3.0]):
+            metrics.sample("s", float(t), v)
+        summary = metrics.summarize("s")
+        assert summary.count == 3
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+
+    def test_empty_summary(self):
+        assert MetricsCollector().summarize("missing").count == 0
+        assert SeriesSummary.of([]).std == 0.0
+
+    def test_ratio(self):
+        metrics = MetricsCollector()
+        metrics.increment("hit", 3)
+        metrics.increment("total", 4)
+        assert metrics.ratio("hit", "total") == 0.75
+        assert metrics.ratio("hit", "missing") is None
+
+    def test_merge(self):
+        a, b = MetricsCollector(), MetricsCollector()
+        a.increment("x", 1)
+        b.increment("x", 2)
+        b.sample("s", 0.0, 5.0)
+        b.set_gauge("g", 9.0)
+        a.merge(b)
+        assert a.counter("x") == 3
+        assert a.series_values("s") == [5.0]
+        assert a.gauge("g") == 9.0

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.seed == 42
+        assert args.minutes == 15.0
+        assert not args.undefended
+
+    def test_attack_arguments(self):
+        args = build_parser().parse_args(
+            ["attack", "rf_jamming", "--seed", "7", "--undefended"]
+        )
+        assert args.campaign == "rf_jamming"
+        assert args.seed == 7
+        assert args.undefended
+
+
+class TestCommands:
+    def test_campaigns_lists_registry(self, capsys):
+        assert main(["campaigns"]) == 0
+        out = capsys.readouterr().out
+        assert "rf_jamming" in out
+        assert "gnss_spoofing" in out
+        assert "eavesdropping" in out
+
+    def test_run_short(self, capsys):
+        assert main(["run", "--seed", "3", "--minutes", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "delivery ratio" in out
+        assert "violations" in out
+
+    def test_attack_unknown_campaign(self, capsys):
+        assert main(["attack", "zero_day"]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_attack_short(self, capsys):
+        assert main([
+            "attack", "message_injection", "--seed", "3", "--minutes", "4",
+            "--start", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "detection:" in out
+
+    def test_assess(self, capsys):
+        assert main(["assess"]) == 0
+        out = capsys.readouterr().out
+        assert "risk profile" in out
+        assert "interplay findings" in out
+
+    def test_assess_with_measures(self, capsys):
+        assert main(["assess", "--measures", "secure_channel_aead",
+                     "pki_mutual_auth"]) == 0
+        assert "mean risk" in capsys.readouterr().out
+
+    def test_sac_writes_exports(self, tmp_path, capsys):
+        assert main(["sac", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "worksite_sac.md").exists()
+        assert (tmp_path / "worksite_sac.dot").exists()
+        assert "SAC:" in capsys.readouterr().out

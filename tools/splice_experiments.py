@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Splice measured benchmark tables into EXPERIMENTS.md.
+
+Reads ``bench_output.txt`` (the ``pytest benchmarks/ --benchmark-only -s``
+capture), groups every printed table and note under its experiment id
+(the ``E-XX`` prefix of each table title), and replaces the
+``{{TABLE:E-XX}}`` / ``{{NOTE:E-XX}}`` markers in EXPERIMENTS.md with the
+verbatim output inside fenced code blocks.
+
+Usage::
+
+    python tools/splice_experiments.py [bench_output.txt] [EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+TITLE = re.compile(r"^(E-[A-Z0-9]+)\s{2}")
+NOISE = re.compile(
+    r"^(\.$|=+ |benchmark: |-+$|Name \(time|Legend:|  Outliers:|  OPS:|"
+    r"platform |rootdir|plugins|collected|\d+ passed|test_)"
+)
+
+
+def collect(bench_path: Path) -> dict:
+    sections = defaultdict(list)
+    current = None
+    for line in bench_path.read_text().splitlines():
+        match = TITLE.match(line)
+        if match:
+            current = match.group(1)
+            sections[current].append(line)
+            continue
+        if current is None:
+            continue
+        if line.strip() == ".":
+            current = None
+            continue
+        if NOISE.match(line):
+            current = None
+            continue
+        sections[current].append(line)
+    # trim trailing blank lines per section
+    for key, lines in sections.items():
+        while lines and not lines[-1].strip():
+            lines.pop()
+    return dict(sections)
+
+
+def splice(experiments_path: Path, sections: dict) -> int:
+    text = experiments_path.read_text()
+    replaced = 0
+
+    def table_repl(match: re.Match) -> str:
+        nonlocal replaced
+        key = match.group(1)
+        lines = sections.get(key)
+        if not lines:
+            return match.group(0)
+        replaced += 1
+        return "```\n" + "\n".join(lines) + "\n```"
+
+    def note_repl(match: re.Match) -> str:
+        nonlocal replaced
+        key = match.group(1)
+        lines = [
+            l for l in sections.get(key, [])
+            if l.startswith("combined assessment:")
+        ]
+        if not lines:
+            return match.group(0)
+        replaced += 1
+        return "> " + lines[0]
+
+    text = re.sub(r"\{\{NOTE:(E-[A-Z0-9]+)\}\}", note_repl, text)
+    text = re.sub(r"\{\{TABLE:(E-[A-Z0-9]+)\}\}", table_repl, text)
+    experiments_path.write_text(text)
+    return replaced
+
+
+def main() -> int:
+    bench = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("bench_output.txt")
+    experiments = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("EXPERIMENTS.md")
+    sections = collect(bench)
+    n = splice(experiments, sections)
+    leftover = re.findall(r"\{\{[A-Z]+:[^}]+\}\}", experiments.read_text())
+    print(f"sections found: {sorted(sections)}")
+    print(f"markers replaced: {n}; leftover markers: {leftover}")
+    return 0 if not leftover else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
