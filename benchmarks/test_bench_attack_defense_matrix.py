@@ -8,17 +8,23 @@ report the channel-level effect plus detection.  Shape expectation: every
 attack degrades its target channel when undefended; every paired defence
 either blocks the effect (crypto, protected management) or detects it
 within seconds (IDS, monitors).
+
+The 10 × 2 attack × profile grid is one sweep driven through
+:mod:`repro.runner`, fanned across worker processes.
 """
+
+import os
 
 from conftest import run_once
 
 from repro.analysis.tables import Table
-from repro.comms.crypto.secure_channel import SecurityProfile
-from repro.scenarios.campaigns import build_campaign
-from repro.scenarios.worksite import ScenarioConfig, build_worksite
+from repro.runner import RunSpec, run_sweep
 
 HORIZON_S = 1200.0
 START, DURATION = 240.0, 600.0
+
+#: worker processes for benchmark sweeps (1 keeps CI boxes predictable)
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "2"))
 
 #: attack -> the survey's paired defence (for the printed table)
 PAIRINGS = {
@@ -35,44 +41,42 @@ PAIRINGS = {
 }
 
 
-def _cell(attack: str, defended: bool, seed: int = 41) -> dict:
-    if defended:
-        config = ScenarioConfig(seed=seed)
-    else:
-        config = ScenarioConfig(
-            seed=seed, profile=SecurityProfile.PLAINTEXT,
-            protected_management=False, defenses_enabled=False,
-            access_control_enabled=False,
+def _matrix_specs(seed: int = 41):
+    return [
+        RunSpec.single(
+            attack, seed=seed, horizon_s=HORIZON_S,
+            profile=profile, start=START, duration=DURATION,
         )
-    scenario = build_worksite(config)
-    campaign = build_campaign(attack, scenario, start=START, duration=DURATION)
-    campaign.arm()
-    scenario.run(HORIZON_S)
+        for attack in PAIRINGS
+        for profile in ("defended", "undefended")
+    ]
 
-    detection_latency = None
-    if scenario.ids_manager is not None:
-        score = scenario.ids_manager.score(
-            campaign.ground_truth_windows(), horizon_s=HORIZON_S
-        )
-        detection_latency = score.mean_latency_s
+
+def _cell_from_record(record: dict) -> dict:
+    spec, result = record["spec"], record["result"]
+    detection = result["detection"]
     return {
-        "attack": attack,
-        "defended": defended,
-        "delivery_ratio": round(scenario.medium.delivery_ratio, 3),
-        "delivered_m3": scenario.mission.delivered_m3,
-        "deauths_accepted": scenario.log.count("deauthenticated"),
-        "records_rejected": scenario.network.nodes["forwarder"].records_rejected,
-        "forged_executed": scenario.command_channel.executed
-        if attack.startswith("message") else 0,
-        "detection_latency_s": detection_latency,
+        "attack": spec["campaign"],
+        "defended": spec["profile"] == "defended",
+        "delivery_ratio": result["summary"]["delivery_ratio"],
+        "delivered_m3": result["summary"]["delivered_m3"],
+        "deauths_accepted": result["channel"]["deauths_accepted"],
+        "records_rejected": result["channel"]["records_rejected"],
+        "forged_executed": result["channel"]["forged_executed"]
+        if spec["campaign"].startswith("message") else 0,
+        "detection_latency_s": (
+            detection["mean_latency_s"] if detection else None
+        ),
     }
 
 
 def _run_matrix():
-    rows = []
-    for attack in PAIRINGS:
-        rows.append((_cell(attack, True), _cell(attack, False)))
-    return rows
+    report = run_sweep(_matrix_specs(), jobs=BENCH_JOBS)
+    assert report.failed == 0, [r["error"] for r in report.failures()]
+    cells = [_cell_from_record(record) for record in report.records]
+    by_key = {(c["attack"], c["defended"]): c for c in cells}
+    return [(by_key[(attack, True)], by_key[(attack, False)])
+            for attack in PAIRINGS]
 
 
 def test_attack_defense_matrix(benchmark):

@@ -9,18 +9,19 @@ expectation: signature catches the attacks its rules know with near-zero
 false alarms; anomaly adds coverage on channel-shifting attacks at a
 false-alarm cost; spec is precise on protocol attacks and blind to RF; the
 ensemble dominates coverage.
+
+The four family cells are one sweep grid driven through
+:mod:`repro.runner` — each cell is a :class:`RunSpec` with the shared
+attack timeline as its plan and the family under study attached on top of
+an undefended scenario, fanned across worker processes.
 """
+
+import os
 
 from conftest import run_once
 
 from repro.analysis.tables import Table
-from repro.comms.crypto.secure_channel import SecurityProfile
-from repro.defense.ids.anomaly import AnomalyIds
-from repro.defense.ids.manager import IdsManager
-from repro.defense.ids.signature import SignatureIds
-from repro.defense.ids.spec import ProtocolSpec, SpecificationIds
-from repro.scenarios.campaigns import build_campaign
-from repro.scenarios.worksite import ScenarioConfig, build_worksite
+from repro.runner import RunSpec, run_sweep
 
 HORIZON_S = 2400.0
 CAMPAIGN_PLAN = (
@@ -30,79 +31,45 @@ CAMPAIGN_PLAN = (
     ("gnss_jamming", 1600.0, 200.0),
     ("message_replay", 2000.0, 200.0),
 )
+FAMILIES = ("signature", "anomaly", "spec", "ensemble")
+
+#: worker processes for benchmark sweeps (1 keeps CI boxes predictable)
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "2"))
 
 
-def _build_family(name, scenario):
-    node = scenario.network.nodes["forwarder"]
-    medium = scenario.medium
-    if name == "signature":
-        return [SignatureIds("sig", scenario.sim, scenario.log)]
-    if name == "anomaly":
-        def rate(getter):
-            last = {"v": getter()}
-
-            def sample():
-                current = getter()
-                delta = current - last["v"]
-                last["v"] = current
-                return delta
-
-            return sample
-
-        return [AnomalyIds(
-            "anom", scenario.sim, scenario.log,
-            features={
-                "frame_loss_rate": rate(lambda: float(medium.frames_lost)),
-                "reject_rate": rate(lambda: float(node.records_rejected)),
-                "deauth_rate": rate(lambda: float(node.endpoint.deauths_received)),
-            },
-        )]
-    if name == "spec":
-        return [SpecificationIds(
-            "spec", scenario.sim, scenario.log, node,
-            ProtocolSpec(command_senders={"control"}),
-        )]
-    return (_build_family("signature", scenario)
-            + _build_family("anomaly", scenario)
-            + _build_family("spec", scenario))
-
-
-def _run_family(name):
+def _family_specs():
     # the ablation compares detector families on an *unprotected* network:
     # with AEAD links the channel rejects app-layer attacks before any IDS
     # sees them, which hides the family differences under study
-    scenario = build_worksite(ScenarioConfig(
-        seed=71,
-        profile=SecurityProfile.PLAINTEXT,
-        protected_management=False,
-        defenses_enabled=False,
-        access_control_enabled=False,
-    ))
-    manager = IdsManager()
-    for detector in _build_family(name, scenario):
-        manager.attach(detector)
-    windows = []
-    for attack, start, duration in CAMPAIGN_PLAN:
-        campaign = build_campaign(attack, scenario, start=start,
-                                  duration=duration)
-        campaign.arm()
-        windows.extend(campaign.ground_truth_windows())
-    scenario.run(HORIZON_S)
-    score = manager.score(windows, horizon_s=HORIZON_S)
-    return {
-        "family": name,
-        "coverage": score.coverage,
-        "detected": score.attacks_detected,
-        "latency_s": score.mean_latency_s,
-        "false_alarms": score.false_alarms,
-        "fa_per_h": score.false_alarm_rate_per_h,
-        "alerts": len(manager.alerts),
-    }
+    return [
+        RunSpec(
+            campaign=f"ablation/{family}",
+            seed=71,
+            horizon_s=HORIZON_S,
+            profile="undefended",
+            plan=CAMPAIGN_PLAN,
+            ids_family=family,
+        )
+        for family in FAMILIES
+    ]
 
 
 def _run_ablation():
-    return [_run_family(name)
-            for name in ("signature", "anomaly", "spec", "ensemble")]
+    report = run_sweep(_family_specs(), jobs=BENCH_JOBS)
+    assert report.failed == 0, [r["error"] for r in report.failures()]
+    rows = []
+    for record in report.records:
+        detection = record["result"]["detection"]
+        rows.append({
+            "family": record["spec"]["ids_family"],
+            "coverage": detection["coverage"],
+            "detected": detection["attacks_detected"],
+            "latency_s": detection["mean_latency_s"],
+            "false_alarms": detection["false_alarms"],
+            "fa_per_h": detection["false_alarm_rate_per_h"],
+            "alerts": detection["alerts"],
+        })
+    return rows
 
 
 def test_ids_ablation(benchmark):

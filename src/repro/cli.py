@@ -14,6 +14,9 @@ Subcommands
     Build the security assurance case and write Markdown/DOT exports.
 ``campaigns``
     List the available attack campaigns.
+``sweep``
+    Fan a campaign × seed × profile grid across a process pool, cache
+    completed runs in a JSONL store, and print the aggregate table.
 
 Examples::
 
@@ -21,6 +24,8 @@ Examples::
     repro-worksite attack gnss_spoofing --undefended
     repro-worksite assess --characteristics
     repro-worksite sac --out out/
+    repro-worksite sweep --campaigns all --n-seeds 3 --jobs 4 --resume
+    repro-worksite sweep --spec examples/sweep_grid.toml --jobs 8
 """
 
 from __future__ import annotations
@@ -188,6 +193,95 @@ def cmd_sac(args) -> int:
     return 0
 
 
+def _parse_csv(value: Optional[str]) -> List[str]:
+    if not value:
+        return []
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _sweep_spec_from_args(args) -> "SweepSpec":
+    from repro.runner import SweepSpec, load_sweep_spec
+    from repro.scenarios.campaigns import CAMPAIGN_BUILDERS
+
+    if args.spec:
+        spec = load_sweep_spec(args.spec)
+    else:
+        spec = SweepSpec()
+    campaigns = _parse_csv(args.campaigns)
+    if campaigns == ["all"]:
+        campaigns = sorted(CAMPAIGN_BUILDERS)
+    if campaigns:
+        spec.campaigns = campaigns
+    unknown = [c for c in spec.campaigns
+               if c not in CAMPAIGN_BUILDERS and c != "baseline"]
+    if unknown:
+        raise ValueError(
+            f"unknown campaigns {unknown}; "
+            f"available: baseline, {', '.join(sorted(CAMPAIGN_BUILDERS))}"
+        )
+    if args.seeds:
+        spec.seeds = [int(s) for s in _parse_csv(args.seeds)]
+    if args.base_seed is not None:
+        spec.base_seed = args.base_seed
+        spec.seeds = []
+    if args.n_seeds is not None:
+        spec.n_seeds = args.n_seeds
+        if not args.seeds:
+            spec.seeds = []
+    if args.minutes is not None:
+        spec.horizon_s = args.minutes * 60.0
+    profiles = _parse_csv(args.profiles)
+    if profiles:
+        spec.profiles = profiles
+    if args.start is not None:
+        spec.attack_start = args.start
+    if args.duration is not None:
+        spec.attack_duration = args.duration
+    return spec
+
+
+def cmd_sweep(args) -> int:
+    from repro.runner import (
+        ResultStore,
+        SweepRunner,
+        aggregate_table,
+    )
+
+    if args.jobs < 1:
+        print(f"sweep spec error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = _sweep_spec_from_args(args)
+    except (ValueError, OSError) as exc:
+        print(f"sweep spec error: {exc}", file=sys.stderr)
+        return 2
+    specs = spec.expand()
+    if not specs:
+        print("sweep spec expands to zero runs", file=sys.stderr)
+        return 2
+    store = ResultStore(args.out)
+    progress = None if args.quiet else lambda line: print(line, flush=True)
+    print(f"sweep: {len(specs)} runs "
+          f"({len(spec.campaigns)} campaigns x {len(spec.resolved_seeds())} "
+          f"seeds x {len(spec.profiles)} profiles), jobs={args.jobs}, "
+          f"store={args.out}")
+    runner = SweepRunner(jobs=args.jobs, store=store, progress=progress)
+    report = runner.run(specs, resume=args.resume)
+    print(f"done: {report.executed} executed, {report.cached} cached, "
+          f"{report.failed} failed in {report.wall_s:.1f} s")
+    for record in report.failures():
+        print(f"  FAILED {record['spec'].get('campaign')} "
+              f"seed={record['spec'].get('seed')}: {record.get('error')}",
+              file=sys.stderr)
+    if not args.no_table:
+        aggregate_table(
+            report.records,
+            title=f"sweep aggregate over {len(spec.resolved_seeds())} seed(s)",
+        ).print()
+    return 1 if report.failed else 0
+
+
 def cmd_campaigns(args) -> int:
     from repro.scenarios.campaigns import CAMPAIGN_BUILDERS
 
@@ -234,6 +328,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaigns_p = sub.add_parser("campaigns", help="list attack campaigns")
     campaigns_p.set_defaults(func=cmd_campaigns)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a campaign x seed x profile grid in parallel"
+    )
+    sweep_p.add_argument("--spec", default=None,
+                         help="TOML/JSON sweep spec file (flags override it)")
+    sweep_p.add_argument("--campaigns", default=None,
+                         help="comma-separated campaign names, or 'all' "
+                              "(use 'baseline' for the no-attack run)")
+    sweep_p.add_argument("--seeds", default=None,
+                         help="comma-separated explicit seeds")
+    sweep_p.add_argument("--base-seed", type=int, default=None,
+                         help="base seed for deterministic seed derivation")
+    sweep_p.add_argument("--n-seeds", type=int, default=None,
+                         help="number of derived seeds per cell")
+    sweep_p.add_argument("--minutes", type=float, default=None,
+                         help="simulated horizon per run")
+    sweep_p.add_argument("--profiles", default=None,
+                         help="comma-separated: defended,undefended")
+    sweep_p.add_argument("--start", type=float, default=None,
+                         help="attack start time (s)")
+    sweep_p.add_argument("--duration", type=float, default=None,
+                         help="attack duration (s)")
+    sweep_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = in-process)")
+    sweep_p.add_argument("--out", default="out/sweep.jsonl",
+                         help="JSONL result store path")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="skip runs already completed in the store")
+    sweep_p.add_argument("--no-table", action="store_true",
+                         help="skip the aggregate table")
+    sweep_p.add_argument("--quiet", action="store_true",
+                         help="suppress per-run progress lines")
+    sweep_p.set_defaults(func=cmd_sweep)
     return parser
 
 

@@ -1,0 +1,57 @@
+"""Parallel experiment sweep runner.
+
+The certification argument of the paper leans on *simulation at scale*:
+many scenarios, seeds and attack variations feeding the assurance case.
+This package is the machinery for that — a declarative grid of worksite
+runs fanned across a process pool, with content-hash caching so repeated
+sweeps only execute the delta:
+
+* :mod:`repro.runner.spec` — :class:`RunSpec` / :class:`SweepSpec`
+  (grid declaration, stable hashing, TOML/JSON spec files);
+* :mod:`repro.runner.worker` — the picklable per-run entry point;
+* :mod:`repro.runner.store` — the append-only JSONL result store;
+* :mod:`repro.runner.engine` — :class:`SweepRunner` (pool fan-out,
+  resume, failure isolation);
+* :mod:`repro.runner.aggregate` — grouped means → paper-style tables.
+
+Typical use::
+
+    from repro.runner import RunSpec, SweepSpec, run_sweep
+
+    grid = SweepSpec(campaigns=["rf_jamming", "gnss_spoofing"],
+                     seeds=[1, 2, 3], horizon_s=1200.0)
+    report = run_sweep(grid.expand(), jobs=4)
+    for result in report.results():
+        ...
+"""
+
+from repro.runner.aggregate import aggregate_rows, aggregate_table, group_records
+from repro.runner.engine import SweepReport, SweepRunner, run_sweep
+from repro.runner.spec import (
+    BASELINE,
+    RunSpec,
+    SweepSpec,
+    derive_sweep_seeds,
+    load_sweep_spec,
+    sweep_spec_from_mapping,
+)
+from repro.runner.store import ResultStore, open_store
+from repro.runner.worker import execute_run
+
+__all__ = [
+    "BASELINE",
+    "RunSpec",
+    "SweepSpec",
+    "SweepReport",
+    "SweepRunner",
+    "ResultStore",
+    "aggregate_rows",
+    "aggregate_table",
+    "group_records",
+    "derive_sweep_seeds",
+    "execute_run",
+    "load_sweep_spec",
+    "open_store",
+    "run_sweep",
+    "sweep_spec_from_mapping",
+]

@@ -1,0 +1,188 @@
+"""The sweep engine: fan a grid of run specs across a process pool.
+
+:class:`SweepRunner` takes the expanded spec list, consults the result
+store for already-completed runs (``resume=True``), and executes only the
+delta — inline for ``jobs=1`` (no pool overhead, same code path as the
+workers) or via :class:`concurrent.futures.ProcessPoolExecutor` otherwise.
+Each completed record is appended to the store as it arrives, so progress
+survives interruption.  Failures are data, not exceptions: a worker that
+raises produces a ``status: "failed"`` record and the sweep keeps going.
+
+Because every run is a pure function of its spec (see
+:mod:`repro.runner.worker`), the report's records are returned in spec
+order regardless of completion order — ``--jobs 1`` and ``--jobs 8``
+produce identical result sets.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.runner.spec import RunSpec
+from repro.runner.store import ResultStore
+from repro.runner.worker import execute_run
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one sweep invocation."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    wall_s: float = 0.0
+    records: List[dict] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> int:
+        return self.total - self.failed
+
+    def failures(self) -> List[dict]:
+        return [r for r in self.records if r.get("status") != "ok"]
+
+    def results(self) -> List[dict]:
+        """The ``result`` payloads of successful runs, in spec order."""
+        return [r["result"] for r in self.records if r.get("status") == "ok"]
+
+
+class SweepRunner:
+    """Execute a list of run specs, caching by spec hash.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` runs inline in this process.
+    store:
+        Optional :class:`ResultStore`; completed records are appended as
+        they arrive and consulted for cache hits when ``resume`` is set.
+    progress:
+        Optional callable receiving one formatted line per completed run.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.store = store
+        self.progress = progress
+
+    def run(self, specs: Sequence[RunSpec], *, resume: bool = False) -> SweepReport:
+        started = time.perf_counter()
+        ordered: List[RunSpec] = []
+        seen = set()
+        for spec in specs:
+            if spec.key not in seen:  # identical cells collapse to one run
+                seen.add(spec.key)
+                ordered.append(spec)
+
+        cached: Dict[str, dict] = {}
+        if resume and self.store is not None:
+            completed = self.store.completed_keys()
+            cached = {
+                spec.key: completed[spec.key]
+                for spec in ordered if spec.key in completed
+            }
+        pending = [spec for spec in ordered if spec.key not in cached]
+
+        report = SweepReport(total=len(ordered), cached=len(cached))
+        by_key: Dict[str, dict] = dict(cached)
+        done = 0
+        for record in cached.values():
+            done += 1
+            self._emit(done=done, total=len(ordered),
+                       record=record, from_cache=True)
+
+        for record in self._execute(pending):
+            by_key[record["key"]] = record
+            report.executed += 1
+            done += 1
+            if self.store is not None:
+                self.store.append(record)
+            self._emit(done=done, total=len(ordered),
+                       record=record, from_cache=False)
+
+        report.records = [by_key[spec.key] for spec in ordered]
+        report.failed = sum(
+            1 for r in report.records if r.get("status") != "ok"
+        )
+        report.wall_s = round(time.perf_counter() - started, 3)
+        return report
+
+    # -- execution backends ------------------------------------------------
+
+    def _execute(self, pending: Sequence[RunSpec]):
+        if not pending:
+            return
+        if self.jobs == 1:
+            for spec in pending:
+                yield execute_run(spec)
+            return
+        yield from self._execute_pool(pending)
+
+    def _execute_pool(self, pending: Sequence[RunSpec]):
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_run, spec.to_dict()): spec
+                for spec in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    spec = futures[future]
+                    error = future.exception()
+                    if error is None:
+                        yield future.result()
+                    else:
+                        # pool-level breakage (lost worker, unpicklable
+                        # payload): report the cell, keep sweeping
+                        yield {
+                            "key": spec.key,
+                            "spec": spec.to_dict(),
+                            "status": "failed",
+                            "error": f"{type(error).__name__}: {error}",
+                            "result": None,
+                            "wall_s": None,
+                        }
+
+    def _emit(self, *, done: int, total: int, record: dict,
+              from_cache: bool) -> None:
+        if self.progress is None:
+            return
+        spec = RunSpec.from_dict(record["spec"])
+        status = record.get("status", "?")
+        if from_cache:
+            tag = "cached"
+        elif status == "ok":
+            tag = f"ok {record.get('wall_s', '?')}s"
+        else:
+            tag = f"FAILED ({record.get('error', 'unknown error')})"
+        self.progress(f"[{done}/{total}] {spec.label}: {tag}")
+
+
+def run_sweep(
+    specs: Sequence[RunSpec],
+    *,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> SweepReport:
+    """Convenience wrapper: one call from specs to report."""
+    runner = SweepRunner(jobs=jobs, store=store, progress=progress)
+    return runner.run(specs, resume=resume)

@@ -1,0 +1,66 @@
+"""Append-only JSONL result store keyed by run-spec hash.
+
+One line per completed run record (see :mod:`repro.runner.worker`).  The
+store is the sweep's cache: on ``--resume`` the engine loads it, keeps
+every ``status: "ok"`` record whose key matches a requested spec, and only
+executes the delta.  Appends are flushed line-by-line, so a sweep killed
+mid-flight loses at most the in-progress runs; a torn final line from such
+a crash is tolerated (and overwritten by the re-run) rather than fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+
+class ResultStore:
+    """A JSONL file of run records with key-based lookup."""
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+
+    def load(self) -> Dict[str, dict]:
+        """All records keyed by spec hash; the last record for a key wins."""
+        records: Dict[str, dict] = {}
+        if not self.path.exists():
+            return records
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from a killed sweep
+                key = record.get("key")
+                if key:
+                    records[key] = record
+        return records
+
+    def completed_keys(self) -> Dict[str, dict]:
+        """Only the successfully completed records (resume skips these)."""
+        return {
+            key: record for key, record in self.load().items()
+            if record.get("status") == "ok"
+        }
+
+    def append(self, record: dict) -> None:
+        """Append one record and flush it to disk."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def append_many(self, records: Iterable[dict]) -> None:
+        for record in records:
+            self.append(record)
+
+
+def open_store(path: Optional[os.PathLike]) -> Optional[ResultStore]:
+    """A store for ``path``, or ``None`` when no persistence is wanted."""
+    return None if path is None else ResultStore(path)

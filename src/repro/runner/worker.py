@@ -1,0 +1,90 @@
+"""The process-pool worker: one :class:`RunSpec` in, one result record out.
+
+``execute_run`` is the module-level entry point submitted to
+``ProcessPoolExecutor`` — it must stay importable as
+``repro.runner.worker.execute_run`` and take/return only picklable,
+JSON-serialisable values.  Everything a run can report — summary, IDS
+score, channel-level counters — is folded into one flat record dict; a
+worker that raises is converted into a ``status: "failed"`` record instead
+of propagating, so one broken cell never kills the sweep.
+
+The record's ``result`` sub-dict is a pure function of the spec (the
+determinism contract the cache relies on); wall-clock timing lives outside
+it under ``wall_s``.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Mapping, Optional, Union
+
+from repro.runner.spec import RunSpec
+
+
+def execute_run(spec: Union[RunSpec, Mapping]) -> dict:
+    """Execute one run; never raises (failures become failed records)."""
+    if not isinstance(spec, RunSpec):
+        spec = RunSpec.from_dict(spec)
+    started = time.perf_counter()
+    try:
+        result = _simulate(spec)
+        status, error = "ok", None
+    except Exception as exc:  # noqa: BLE001 - the record carries the details
+        result, status = None, "failed"
+        error = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+    return {
+        "key": spec.key,
+        "spec": spec.to_dict(),
+        "status": status,
+        "error": error,
+        "result": result,
+        "wall_s": round(time.perf_counter() - started, 3),
+    }
+
+
+def _simulate(spec: RunSpec) -> dict:
+    # imported here so pool workers pay the import cost once per process,
+    # not once per module import on the coordinator
+    from repro.scenarios.factory import compose_run
+
+    prepared = compose_run(
+        seed=spec.seed,
+        horizon_s=spec.horizon_s,
+        profile=spec.profile,
+        plan=spec.plan,
+        ids_family=spec.ids_family,
+        overrides=dict(spec.overrides),
+    )
+    scenario = prepared.scenario
+    scenario.run(spec.horizon_s)
+
+    detection: Optional[dict] = None
+    manager = prepared.score_manager()
+    if manager is not None:
+        score = manager.score(prepared.windows, horizon_s=spec.horizon_s)
+        detection = {
+            "attacks_total": score.attacks_total,
+            "attacks_detected": score.attacks_detected,
+            "coverage": round(score.coverage, 4),
+            "mean_latency_s": (
+                None if score.mean_latency_s is None
+                else round(score.mean_latency_s, 3)
+            ),
+            "false_alarms": score.false_alarms,
+            "false_alarm_rate_per_h": round(score.false_alarm_rate_per_h, 3),
+            "alerts": len(manager.alerts),
+        }
+    forwarder_node = scenario.network.nodes["forwarder"]
+    return {
+        "summary": scenario.summary(),
+        "detection": detection,
+        "channel": {
+            "frames_lost": scenario.medium.frames_lost,
+            "records_rejected": forwarder_node.records_rejected,
+            "deauths_accepted": scenario.log.count("deauthenticated"),
+            "forged_executed": scenario.command_channel.executed,
+        },
+    }

@@ -5,7 +5,9 @@
   and the worksite item model for the risk assessments;
 * :mod:`repro.scenarios.usecase` — the Figure 2 minimal occlusion use case;
 * :mod:`repro.scenarios.campaigns` — named attack campaigns for the
-  benchmarks.
+  benchmarks;
+* :mod:`repro.scenarios.factory` — primitive-valued run specs → composed,
+  armed scenarios (the picklable entry point the sweep runner workers use).
 """
 
 from repro.scenarios.worksite import (
@@ -16,8 +18,11 @@ from repro.scenarios.worksite import (
 )
 from repro.scenarios.usecase import UsecaseConfig, OcclusionUsecase, build_usecase
 from repro.scenarios.campaigns import build_campaign, CAMPAIGN_BUILDERS
+from repro.scenarios.factory import PreparedRun, compose_run
 
 __all__ = [
+    "PreparedRun",
+    "compose_run",
     "ScenarioConfig",
     "WorksiteScenario",
     "build_worksite",

@@ -1,0 +1,192 @@
+"""Primitive-valued run specs → composed, armed worksite scenarios.
+
+The sweep runner fans runs out across processes, so everything it ships to
+a worker must be picklable and platform-stable: plain strings, numbers and
+tuples.  This module is the bridge — it turns such a primitive mapping into
+a fully composed :class:`~repro.scenarios.worksite.WorksiteScenario` with
+its attack campaigns armed and (optionally) a standalone IDS family
+attached, without the caller ever touching enum or object types.
+
+``compose_run`` is the single entry point the runner worker calls; it is
+also usable directly for in-process experiments that want spec-driven
+scenario construction (the determinism regression tests do exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.comms.crypto.secure_channel import SecurityProfile
+from repro.defense.ids.anomaly import AnomalyIds
+from repro.defense.ids.manager import IdsManager
+from repro.defense.ids.signature import SignatureIds
+from repro.defense.ids.spec import ProtocolSpec, SpecificationIds
+from repro.scenarios.campaigns import CAMPAIGN_BUILDERS, build_campaign
+from repro.scenarios.worksite import (
+    ScenarioConfig,
+    WorksiteScenario,
+    build_worksite,
+)
+from repro.sim.weather import WeatherState
+
+#: names a run spec may use for its defence posture
+PROFILES = ("defended", "undefended")
+
+#: IDS families a run spec may attach on top of an undefended scenario
+IDS_FAMILIES = ("signature", "anomaly", "spec", "ensemble")
+
+#: ScenarioConfig fields a spec may override with primitive values
+_OVERRIDABLE = {
+    "width", "height", "tree_density", "n_ridges", "ridge_height",
+    "drone_enabled", "n_workers", "worker_approach_rate_per_h",
+    "weather_initial", "weather_frozen", "pile_volume_m3",
+}
+
+
+def scenario_config_from_primitives(
+    seed: int,
+    profile: str = "defended",
+    overrides: Optional[Mapping[str, object]] = None,
+) -> ScenarioConfig:
+    """Build a :class:`ScenarioConfig` from primitive values only.
+
+    ``profile`` selects the defence posture: ``"defended"`` is the paper's
+    nominal stack, ``"undefended"`` is plaintext links with every defence
+    disabled (the ablation baseline the CLI calls ``--undefended``).
+    ``overrides`` may set any field in ``_OVERRIDABLE``; ``weather_initial``
+    is given by name (``"clear"``, ``"rain"``, ...).
+    """
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown profile {profile!r}; expected one of {PROFILES}"
+        )
+    kwargs: Dict[str, object] = {"seed": int(seed)}
+    if profile == "undefended":
+        kwargs.update(
+            profile=SecurityProfile.PLAINTEXT,
+            protected_management=False,
+            defenses_enabled=False,
+            access_control_enabled=False,
+        )
+    valid = {f.name for f in fields(ScenarioConfig)}
+    for name, value in dict(overrides or {}).items():
+        if name not in _OVERRIDABLE:
+            hint = "overridable" if name in valid else "known"
+            raise ValueError(
+                f"{name!r} is not an {hint} ScenarioConfig field; "
+                f"overridable: {sorted(_OVERRIDABLE)}"
+            )
+        if name == "weather_initial" and isinstance(value, str):
+            value = WeatherState[value.upper()]
+        kwargs[name] = value
+    return ScenarioConfig(**kwargs)
+
+
+def standalone_ids_family(name: str, scenario: WorksiteScenario) -> IdsManager:
+    """Attach one IDS family (or the ensemble) to a composed scenario.
+
+    Used by ablation runs on an *undefended* network, where the scenario's
+    own IDS suite is disabled and the family under study is wired up
+    separately so channel-level protections do not mask its behaviour.
+    """
+    if name not in IDS_FAMILIES:
+        raise ValueError(
+            f"unknown IDS family {name!r}; expected one of {IDS_FAMILIES}"
+        )
+    manager = IdsManager()
+    for detector in _family_detectors(name, scenario):
+        manager.attach(detector)
+    return manager
+
+
+def _family_detectors(name: str, scenario: WorksiteScenario) -> List:
+    node = scenario.network.nodes["forwarder"]
+    medium = scenario.medium
+    if name == "signature":
+        return [SignatureIds("sig", scenario.sim, scenario.log)]
+    if name == "anomaly":
+        def rate(getter):
+            last = {"v": getter()}
+
+            def sample():
+                current = getter()
+                delta = current - last["v"]
+                last["v"] = current
+                return delta
+
+            return sample
+
+        return [AnomalyIds(
+            "anom", scenario.sim, scenario.log,
+            features={
+                "frame_loss_rate": rate(lambda: float(medium.frames_lost)),
+                "reject_rate": rate(lambda: float(node.records_rejected)),
+                "deauth_rate": rate(
+                    lambda: float(node.endpoint.deauths_received)
+                ),
+            },
+        )]
+    if name == "spec":
+        return [SpecificationIds(
+            "spec", scenario.sim, scenario.log, node,
+            ProtocolSpec(command_senders={"control"}),
+        )]
+    return (_family_detectors("signature", scenario)
+            + _family_detectors("anomaly", scenario)
+            + _family_detectors("spec", scenario))
+
+
+@dataclass
+class PreparedRun:
+    """A composed scenario with its attack timeline armed and ready to run."""
+
+    scenario: WorksiteScenario
+    windows: List[Tuple[str, float, float]]
+    ids_manager: Optional[IdsManager]
+
+    def score_manager(self) -> Optional[IdsManager]:
+        """The manager whose alerts should be scored for this run."""
+        return self.ids_manager or self.scenario.ids_manager
+
+
+def compose_run(
+    seed: int,
+    horizon_s: float,
+    profile: str = "defended",
+    plan: Sequence[Tuple[str, float, Optional[float]]] = (),
+    ids_family: Optional[str] = None,
+    overrides: Optional[Mapping[str, object]] = None,
+) -> PreparedRun:
+    """Compose and arm a worksite run from primitive values.
+
+    ``plan`` is the attack timeline: ``(campaign_name, start_s, duration_s)``
+    steps (duration ``None`` means open-ended).  An empty plan is the benign
+    baseline.  The returned :class:`PreparedRun` has every campaign armed;
+    the caller advances the clock with ``prepared.scenario.run(horizon_s)``.
+    """
+    for name, _, _ in plan:
+        if name not in CAMPAIGN_BUILDERS:
+            raise ValueError(
+                f"unknown campaign {name!r}; "
+                f"available: {sorted(CAMPAIGN_BUILDERS)}"
+            )
+    config = scenario_config_from_primitives(seed, profile, overrides)
+    scenario = build_worksite(config)
+    windows: List[Tuple[str, float, float]] = []
+    for name, start, duration in plan:
+        kwargs = {"start": float(start)}
+        if duration is not None:
+            kwargs["duration"] = float(duration)
+        try:
+            campaign = build_campaign(name, scenario, **kwargs)
+        except TypeError:
+            # some builders (e.g. "combined") stage their own durations
+            kwargs.pop("duration", None)
+            campaign = build_campaign(name, scenario, **kwargs)
+        campaign.arm()
+        windows.extend(campaign.ground_truth_windows())
+    manager = (
+        standalone_ids_family(ids_family, scenario) if ids_family else None
+    )
+    return PreparedRun(scenario=scenario, windows=windows, ids_manager=manager)

@@ -42,10 +42,14 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _sim: Optional["Simulator"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._on_cancel(self)
 
 
 class Process:
@@ -110,6 +114,7 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -123,8 +128,22 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still in the queue."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still in the queue.
+
+        Maintained as a live counter (O(1)): incremented on schedule,
+        decremented when an event is cancelled or popped for firing.
+        """
+        return self._live
+
+    def _on_cancel(self, event: Event) -> None:
+        # called exactly once per cancelled in-queue event (Event.cancel
+        # guards idempotence; popped events detach their back-reference)
+        self._live -= 1
+
+    def _pop_live(self, event: Event) -> None:
+        """Account for a live event leaving the heap to fire."""
+        event._sim = None
+        self._live -= 1
 
     def schedule(
         self, delay: float, callback: Callable[[], None], *, priority: int = 0
@@ -142,8 +161,12 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        event = Event(time=time, priority=priority, seq=next(self._seq), callback=callback)
+        event = Event(
+            time=time, priority=priority, seq=next(self._seq),
+            callback=callback, _sim=self,
+        )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def every(
@@ -163,6 +186,7 @@ class Simulator:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            self._pop_live(event)
             self._now = event.time
             self._processed += 1
             event.callback()
@@ -192,6 +216,7 @@ class Simulator:
                 if event.time > end_time:
                     break
                 heapq.heappop(self._heap)
+                self._pop_live(event)
                 self._now = event.time
                 self._processed += 1
                 event.callback()

@@ -1,0 +1,125 @@
+"""Property-based tests for the discrete-event simulation kernel.
+
+The sweep runner's determinism contract bottoms out here: the kernel must
+fire events in a total, stable order, processes must never leak live
+events, and the clock must land exactly on the horizon.  Hypothesis
+explores random event mixes the unit tests would never enumerate.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Process, Simulator
+
+times = st.floats(min_value=0.0, max_value=100.0, allow_nan=False,
+                  allow_infinity=False)
+priorities = st.integers(min_value=-3, max_value=3)
+event_mix = st.lists(st.tuples(times, priorities), min_size=0, max_size=40)
+
+
+class TestSchedulingOrder:
+    @given(mix=event_mix)
+    def test_firing_order_is_total_and_stable(self, mix):
+        """Events fire exactly in ``(time, priority, seq)`` order."""
+        sim = Simulator()
+        fired = []
+        for seq, (time, priority) in enumerate(mix):
+            def record(time=time, priority=priority, seq=seq):
+                fired.append((time, priority, seq))
+
+            sim.schedule_at(time, record, priority=priority)
+        sim.run_until(200.0)
+        assert len(fired) == len(mix)
+        assert fired == sorted(fired)
+
+    @given(mix=event_mix)
+    def test_order_is_independent_of_submission_order(self, mix):
+        """Same instants, same priorities → same firing order, regardless
+        of heap internals (seq breaks all remaining ties by submission)."""
+        sim = Simulator()
+        fired = []
+        for seq, (time, priority) in enumerate(mix):
+            sim.schedule_at(time, lambda s=seq: fired.append(s),
+                            priority=priority)
+        sim.run_until(200.0)
+        expected = [seq for _, _, seq in
+                    sorted((t, p, s) for s, (t, p) in enumerate(mix))]
+        assert fired == expected
+
+    @given(mix=event_mix, cancel_every=st.integers(min_value=2, max_value=5))
+    def test_pending_counter_matches_heap_under_random_cancels(
+            self, mix, cancel_every):
+        sim = Simulator()
+        events = [sim.schedule_at(t, lambda: None, priority=p)
+                  for t, p in mix]
+        for i, event in enumerate(events):
+            if i % cancel_every == 0:
+                event.cancel()
+                event.cancel()  # idempotence must hold
+        assert sim.pending == sum(1 for e in sim._heap if not e.cancelled)
+        sim.run_until(50.0)
+        assert sim.pending == sum(1 for e in sim._heap if not e.cancelled)
+
+
+class TestProcessLifecycle:
+    @given(
+        interval=st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+        stop_after=st.integers(min_value=0, max_value=10),
+        horizon=st.floats(min_value=1.0, max_value=60.0, allow_nan=False),
+    )
+    def test_stop_never_leaves_a_live_event(self, interval, stop_after,
+                                            horizon):
+        sim = Simulator()
+        ticks = []
+
+        process = Process(sim, interval, lambda: ticks.append(sim.now))
+
+        def stopper():
+            if len(ticks) >= stop_after:
+                process.stop()
+
+        sim.every(interval / 2.0, stopper)
+        sim.run_until(horizon)
+        process.stop()  # stopping (again) after the run must also be clean
+        live = [e for e in sim._heap
+                if not e.cancelled and e.callback == process._fire]
+        assert live == []
+
+    @given(
+        interval=st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+        horizon=st.floats(min_value=1.0, max_value=40.0, allow_nan=False),
+    )
+    def test_stopped_process_stops_ticking(self, interval, horizon):
+        sim = Simulator()
+        ticks = []
+        process = sim.every(interval, lambda: ticks.append(sim.now))
+        sim.run_until(horizon)
+        process.stop()
+        count = len(ticks)
+        sim.run_until(horizon + 20.0)
+        assert len(ticks) == count
+
+
+class TestHorizonInvariant:
+    @given(mix=event_mix,
+           horizon=st.floats(min_value=0.0, max_value=300.0,
+                             allow_nan=False))
+    def test_run_until_lands_exactly_on_the_horizon(self, mix, horizon):
+        """Even when the queue drains early (or is empty), ``now`` ends at
+        ``end_time`` so horizon-aligned metric sampling stays consistent."""
+        sim = Simulator()
+        for time, priority in mix:
+            sim.schedule_at(time, lambda: None, priority=priority)
+        sim.run_until(horizon)
+        assert sim.now == horizon
+
+    @given(mix=event_mix)
+    def test_no_event_fires_past_the_horizon(self, mix):
+        sim = Simulator()
+        fired = []
+        for time, priority in mix:
+            sim.schedule_at(time, lambda t=time: fired.append(t),
+                            priority=priority)
+        sim.run_until(50.0)
+        assert all(t <= 50.0 for t in fired)
+        # the ones beyond the horizon are still pending, not lost
+        assert sim.pending == sum(1 for t, _ in mix if t > 50.0)

@@ -1,0 +1,85 @@
+"""Unit tests for sweep aggregation (synthetic records, no simulation)."""
+
+from repro.runner.aggregate import aggregate_rows, aggregate_table, group_records
+
+
+def _record(campaign, seed, profile="defended", ids_family=None,
+            status="ok", delivered=100.0, coverage=0.8):
+    result = None
+    if status == "ok":
+        result = {
+            "summary": {
+                "delivered_m3": delivered, "delivery_ratio": 0.9,
+                "safe_stops": 1, "alerts": 4,
+                "safety": {"violations": 0},
+            },
+            "detection": {
+                "coverage": coverage, "mean_latency_s": 12.0,
+                "false_alarms": 1,
+            },
+            "channel": {"forged_executed": 0, "deauths_accepted": 0},
+        }
+    return {
+        "key": f"{campaign}-{seed}-{profile}",
+        "status": status,
+        "error": None if status == "ok" else "boom",
+        "spec": {"campaign": campaign, "seed": seed, "profile": profile,
+                 "ids_family": ids_family},
+        "result": result,
+    }
+
+
+class TestGrouping:
+    def test_groups_by_campaign_profile_family(self):
+        records = [
+            _record("a", 1), _record("a", 2),
+            _record("a", 1, profile="undefended"),
+            _record("b", 1), _record("a", 1, ids_family="spec"),
+        ]
+        groups = group_records(records)
+        assert len(groups) == 4
+        assert len(groups[("a", "defended", None)]) == 2
+
+    def test_first_seen_order_is_preserved(self):
+        records = [_record("z", 1), _record("a", 1), _record("m", 1)]
+        assert [key[0] for key in group_records(records)] == ["z", "a", "m"]
+
+
+class TestRows:
+    def test_means_over_seeds(self):
+        records = [
+            _record("a", 1, delivered=100.0, coverage=0.6),
+            _record("a", 2, delivered=200.0, coverage=1.0),
+        ]
+        (row,) = aggregate_rows(records)
+        assert row["runs"] == 2
+        assert row["delivered_m3"] == 150.0
+        assert row["coverage"] == 0.8
+
+    def test_failed_runs_counted_but_excluded_from_means(self):
+        records = [
+            _record("a", 1, delivered=100.0),
+            _record("a", 2, status="failed"),
+        ]
+        (row,) = aggregate_rows(records)
+        assert row["runs"] == 2
+        assert row["failed"] == 1
+        assert row["delivered_m3"] == 100.0
+
+    def test_all_failed_cell_renders_dashes(self):
+        records = [_record("a", 1, status="failed")]
+        (row,) = aggregate_rows(records)
+        assert row["delivered_m3"] is None
+        # and the table renders it without blowing up
+        rendered = aggregate_table(records).render()
+        assert "a" in rendered
+
+
+class TestTable:
+    def test_ids_column_only_when_families_present(self):
+        plain = aggregate_table([_record("a", 1)]).render()
+        assert "IDS" not in plain
+        with_ids = aggregate_table(
+            [_record("a", 1, ids_family="spec")]
+        ).render()
+        assert "IDS" in with_ids

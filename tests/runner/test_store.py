@@ -1,0 +1,57 @@
+"""Unit tests for the JSONL result store."""
+
+import json
+
+from repro.runner.store import ResultStore, open_store
+
+
+def _record(key, status="ok", payload=0):
+    return {"key": key, "status": status, "result": {"n": payload},
+            "spec": {"campaign": "baseline"}}
+
+
+class TestResultStore:
+    def test_append_then_load(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(_record("aa"))
+        store.append(_record("bb"))
+        loaded = store.load()
+        assert set(loaded) == {"aa", "bb"}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "absent.jsonl").load() == {}
+
+    def test_last_record_for_a_key_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(_record("aa", payload=1))
+        store.append(_record("aa", payload=2))
+        assert store.load()["aa"]["result"]["n"] == 2
+
+    def test_torn_tail_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append(_record("aa"))
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"key": "bb", "status": "ok", "resu')  # killed mid-write
+        assert set(store.load()) == {"aa"}
+
+    def test_completed_keys_excludes_failures(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(_record("aa", status="ok"))
+        store.append(_record("bb", status="failed"))
+        assert set(store.completed_keys()) == {"aa"}
+
+    def test_append_creates_parent_dirs(self, tmp_path):
+        store = ResultStore(tmp_path / "deep" / "nested" / "r.jsonl")
+        store.append(_record("aa"))
+        assert set(store.load()) == {"aa"}
+
+    def test_records_are_plain_json_lines(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        ResultStore(path).append(_record("aa"))
+        (line,) = path.read_text().splitlines()
+        assert json.loads(line)["key"] == "aa"
+
+    def test_open_store_none_passthrough(self, tmp_path):
+        assert open_store(None) is None
+        assert isinstance(open_store(tmp_path / "r.jsonl"), ResultStore)

@@ -111,6 +111,41 @@ class TestCancellation:
         e1.cancel()
         assert sim.pending == 1
 
+    def test_pending_accounting_cancel_then_pop(self):
+        # cancelled events linger in the heap until popped; the live
+        # counter must not be double-decremented when they finally pop
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(6)]
+        events[0].cancel()
+        events[3].cancel()
+        assert sim.pending == 4
+        sim.run_until(2.5)  # pops cancelled e0 (t=1), fires e1 (t=2)
+        assert sim.pending == 3
+        sim.run_until(10.0)  # pops cancelled e3, fires the rest
+        assert sim.pending == 0
+        assert sim.events_processed == 4
+
+    def test_pending_unchanged_by_cancel_after_fire(self):
+        # cancelling an event that already fired must not corrupt the counter
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run_until(1.5)
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_pending_matches_heap_scan_under_churn(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i % 7) + 0.5, lambda: None)
+                  for i in range(50)]
+        for i, event in enumerate(events):
+            if i % 3 == 0:
+                event.cancel()
+            if i % 6 == 0:
+                event.cancel()  # double-cancel must stay idempotent
+        sim.run_until(3.0)
+        assert sim.pending == sum(1 for e in sim._heap if not e.cancelled)
+
 
 class TestProcess:
     def test_recurring_callback(self):

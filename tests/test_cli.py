@@ -24,6 +24,12 @@ class TestParser:
         assert args.seed == 7
         assert args.undefended
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1
+        assert not args.resume
+        assert args.out == "out/sweep.jsonl"
+
 
 class TestCommands:
     def test_campaigns_lists_registry(self, capsys):
@@ -67,3 +73,41 @@ class TestCommands:
         assert (tmp_path / "worksite_sac.md").exists()
         assert (tmp_path / "worksite_sac.dot").exists()
         assert "SAC:" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    SMALL = ["--campaigns", "baseline,rf_jamming", "--seeds", "11",
+             "--minutes", "1", "--start", "10", "--duration", "30"]
+
+    def test_sweep_runs_and_caches(self, tmp_path, capsys):
+        out = str(tmp_path / "sweep.jsonl")
+        assert main(["sweep", *self.SMALL, "--out", out]) == 0
+        text = capsys.readouterr().out
+        assert "2 runs" in text
+        assert "2 executed, 0 cached" in text
+        assert "sweep aggregate" in text
+        # re-running with --resume serves everything from the store
+        assert main(["sweep", *self.SMALL, "--out", out, "--resume",
+                     "--quiet", "--no-table"]) == 0
+        assert "0 executed, 2 cached" in capsys.readouterr().out
+
+    def test_sweep_unknown_campaign_is_a_spec_error(self, tmp_path, capsys):
+        assert main(["sweep", "--campaigns", "zero_day",
+                     "--out", str(tmp_path / "s.jsonl")]) == 2
+        assert "unknown campaigns" in capsys.readouterr().err
+
+    def test_sweep_rejects_nonpositive_jobs(self, tmp_path, capsys):
+        assert main(["sweep", "--campaigns", "baseline", "--seeds", "1",
+                     "--jobs", "0",
+                     "--out", str(tmp_path / "s.jsonl")]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_sweep_spec_file(self, tmp_path, capsys):
+        spec = tmp_path / "grid.toml"
+        spec.write_text(
+            'campaigns = ["baseline"]\nseeds = [3]\nhorizon_s = 60.0\n'
+        )
+        assert main(["sweep", "--spec", str(spec),
+                     "--out", str(tmp_path / "s.jsonl"), "--quiet",
+                     "--no-table"]) == 0
+        assert "1 runs" in capsys.readouterr().out
