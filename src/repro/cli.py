@@ -17,6 +17,9 @@ Subcommands
 ``sweep``
     Fan a campaign × seed × profile grid across a process pool, cache
     completed runs in a JSONL store, and print the aggregate table.
+``profile``
+    Run the worksite under cProfile, print the hottest functions, and
+    optionally (``--perf``) the :mod:`repro.perf` counter report.
 
 Examples::
 
@@ -26,6 +29,7 @@ Examples::
     repro-worksite sac --out out/
     repro-worksite sweep --campaigns all --n-seeds 3 --jobs 4 --resume
     repro-worksite sweep --spec examples/sweep_grid.toml --jobs 8
+    repro-worksite profile --minutes 5 --sort tottime --perf
 """
 
 from __future__ import annotations
@@ -282,6 +286,33 @@ def cmd_sweep(args) -> int:
     return 1 if report.failed else 0
 
 
+def cmd_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    from repro.perf import counters as perf_counters
+    from repro.scenarios.worksite import build_worksite
+
+    scenario = build_worksite(_scenario_config(args))
+    horizon = args.minutes * 60.0
+    if args.perf:
+        perf_counters.enable(True)
+        perf_counters.reset()
+    print(f"profiling worksite seed={args.seed} for {args.minutes} min ...")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    scenario.run(horizon)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    _print_summary(scenario)
+    if args.perf:
+        print()
+        print("perf counters:")
+        print(perf_counters.report())
+    return 0
+
+
 def cmd_campaigns(args) -> int:
     from repro.scenarios.campaigns import CAMPAIGN_BUILDERS
 
@@ -328,6 +359,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaigns_p = sub.add_parser("campaigns", help="list attack campaigns")
     campaigns_p.set_defaults(func=cmd_campaigns)
+
+    profile_p = sub.add_parser(
+        "profile", help="run the worksite under cProfile"
+    )
+    common(profile_p)
+    profile_p.add_argument(
+        "--sort", default="cumulative",
+        choices=["cumulative", "tottime", "calls", "ncalls"],
+        help="pstats sort key for the hot-function table",
+    )
+    profile_p.add_argument("--limit", type=int, default=25,
+                           help="number of rows to print")
+    profile_p.add_argument(
+        "--perf", action="store_true",
+        help="enable the repro.perf counters and print their report",
+    )
+    profile_p.set_defaults(func=cmd_profile)
 
     sweep_p = sub.add_parser(
         "sweep", help="run a campaign x seed x profile grid in parallel"

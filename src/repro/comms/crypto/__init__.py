@@ -22,8 +22,11 @@ production cryptography.
 from repro.comms.crypto.primitives import (
     AeadError,
     aead_decrypt,
+    aead_decrypt_subkeys,
     aead_encrypt,
+    aead_encrypt_subkeys,
     constant_time_equal,
+    derive_aead_subkeys,
     hkdf,
     hmac_sha256,
     stream_xor,
@@ -45,8 +48,11 @@ from repro.comms.crypto.secure_channel import (
 __all__ = [
     "AeadError",
     "aead_decrypt",
+    "aead_decrypt_subkeys",
     "aead_encrypt",
+    "aead_encrypt_subkeys",
     "constant_time_equal",
+    "derive_aead_subkeys",
     "hkdf",
     "hmac_sha256",
     "stream_xor",

@@ -37,9 +37,10 @@ from repro.comms.crypto.keys import KeyPair, SchnorrSignature, sign, verify
 from repro.comms.crypto.numbers import DhGroup
 from repro.comms.crypto.primitives import (
     AeadError,
-    aead_decrypt,
-    aead_encrypt,
+    aead_decrypt_subkeys,
+    aead_encrypt_subkeys,
     constant_time_equal,
+    derive_aead_subkeys,
     hkdf,
     hmac_sha256,
     nonce_from_sequence,
@@ -126,6 +127,13 @@ class SecureChannel:
         self._send_key = send_key
         self._recv_key = recv_key
         self.profile = profile
+        # HKDF enc/MAC subkeys are a pure function of the directional keys;
+        # derive them once per channel instead of twice per record.
+        if profile is SecurityProfile.AEAD:
+            self._send_subkeys = derive_aead_subkeys(send_key)
+            self._recv_subkeys = derive_aead_subkeys(recv_key)
+        else:
+            self._send_subkeys = self._recv_subkeys = None
         self._send_seq = 0
         self._recv_max = -1
         self._recv_seen: set = set()
@@ -146,7 +154,10 @@ class SecureChannel:
             )
             body = plaintext + tag
         else:
-            body = aead_encrypt(self._send_key, nonce_from_sequence(seq), plaintext, aad)
+            enc_key, mac_key = self._send_subkeys
+            body = aead_encrypt_subkeys(
+                enc_key, mac_key, nonce_from_sequence(seq), plaintext, aad
+            )
         self.records_sealed += 1
         return Record(seq=seq, body=body, profile=self.profile.value)
 
@@ -180,8 +191,10 @@ class SecureChannel:
                     raise ChannelError("integrity tag mismatch")
             else:
                 try:
-                    plaintext = aead_decrypt(
-                        self._recv_key, nonce_from_sequence(record.seq), record.body, aad
+                    enc_key, mac_key = self._recv_subkeys
+                    plaintext = aead_decrypt_subkeys(
+                        enc_key, mac_key, nonce_from_sequence(record.seq),
+                        record.body, aad,
                     )
                 except AeadError as exc:
                     raise ChannelError(str(exc)) from exc

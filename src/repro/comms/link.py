@@ -29,7 +29,7 @@ class FrameType(enum.Enum):
     ASSOC = "assoc"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Frame:
     """A link-layer frame.
 

@@ -12,8 +12,8 @@ attacks, below any cryptographic protection.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.comms.radio import (
     RadioConfig,
@@ -22,6 +22,7 @@ from repro.comms.radio import (
     link_budget,
     received_power_dbm,
 )
+from repro.perf import counters as perf
 from repro.sim.engine import Simulator
 from repro.sim.events import EventCategory, EventLog
 from repro.sim.geometry import Vec2
@@ -107,8 +108,14 @@ class WirelessMedium:
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_lost = 0
-        self._airtime_by_channel: Dict[int, float] = {}
-        self._recent_tx: List[tuple] = []  # (end_time, position, power, channel)
+        # live co-channel transmissions, per channel, in transmission order:
+        # (end_time, position, power).  Expired entries are dropped lazily
+        # from the front (time-ordered by start; ends can interleave, so
+        # iteration still checks each entry's end time).
+        self._recent_tx: Dict[int, Deque[Tuple[float, Vec2, float]]] = {}
+        # airtime intervals (start, end) per channel for the sliding-window
+        # utilisation metric, pruned against UTIL_RETENTION_S
+        self._airtime_windows: Dict[int, Deque[Tuple[float, float]]] = {}
 
     # -- registration -------------------------------------------------------
     def register(self, endpoint: "LinkEndpoint") -> None:
@@ -139,39 +146,77 @@ class WirelessMedium:
         """Aggregate interference power at ``position``, dBm.
 
         Transmissions originating at the receiver's own position are skipped
-        (full-duplex radio assumption — a node does not jam itself).
+        (full-duplex radio assumption — a node does not jam itself).  Only
+        the queried channel's live transmissions are visited (per-channel
+        index with lazy front expiry), and each component's distance is
+        computed exactly once.
         """
+        if perf.ACTIVE:
+            perf.incr("medium.interference_queries")
         components = [
             j.interference_at(position, channel) for j in self.jammers
         ]
         # co-channel interference from overlapping recent transmissions
-        self._recent_tx = [t for t in self._recent_tx if t[0] > now]
-        for _, pos, power, ch in self._recent_tx:
-            if ch == channel and pos.distance_to(position) > 0.5:
+        recent = self._recent_tx.get(channel)
+        if recent:
+            while recent and recent[0][0] <= now:
+                recent.popleft()
+            for end, pos, power in recent:
+                if end <= now:
+                    continue
                 d = pos.distance_to(position)
-                components.append(received_power_dbm(power, d, antenna_gain_db=0.0) - 6.0)
+                if d > 0.5:
+                    components.append(
+                        received_power_dbm(power, d, antenna_gain_db=0.0) - 6.0
+                    )
         components = [c for c in components if c != -math.inf]
         if not components:
             return -math.inf
         return combine_noise_dbm(*components)
 
+    #: how much airtime history the utilisation metric retains, seconds
+    UTIL_RETENTION_S = 120.0
+
     def channel_utilization(self, channel: int, window_s: float, now: float) -> float:
-        """Fraction of the last ``window_s`` spent transmitting on ``channel``."""
-        used = self._airtime_by_channel.get(channel, 0.0)
+        """Fraction of the last ``window_s`` spent transmitting on ``channel``.
+
+        True sliding-window accounting: sums the airtime intervals that
+        overlap ``[now - window_s, now]``.  Windows longer than
+        :attr:`UTIL_RETENTION_S` are clamped to the retained history.
+        """
         if window_s <= 0.0:
             return 0.0
-        return min(1.0, used / max(now, window_s))
+        window_s = min(window_s, self.UTIL_RETENTION_S)
+        intervals = self._airtime_windows.get(channel)
+        if not intervals:
+            return 0.0
+        cutoff = now - window_s
+        while intervals and intervals[0][1] <= cutoff:
+            intervals.popleft()
+        used = 0.0
+        for start, end in intervals:
+            overlap = min(end, now) - max(start, cutoff)
+            if overlap > 0.0:
+                used += overlap
+        return min(1.0, used / window_s)
 
     # -- transmission -------------------------------------------------------
     def transmit(self, sender: "LinkEndpoint", frame: "Frame", raw: bytes) -> None:
         """Transmit ``frame`` from ``sender``; delivery is probabilistic."""
+        if perf.ACTIVE:
+            perf.incr("medium.frames_tx")
+            perf.incr("medium.bytes_tx", len(raw))
         self.frames_sent += 1
         now = self.sim.now
         config = sender.radio
         air = airtime_s(len(raw), config.bitrate_bps)
-        self._airtime_by_channel[config.channel] = (
-            self._airtime_by_channel.get(config.channel, 0.0) + air
-        )
+        windows = self._airtime_windows.get(config.channel)
+        if windows is None:
+            windows = self._airtime_windows[config.channel] = deque()
+        cutoff = now - self.UTIL_RETENTION_S
+        while windows and windows[0][1] <= cutoff:
+            windows.popleft()
+        windows.append((now, now + air))
 
         for watcher in self.eavesdroppers:
             watcher(frame, raw)
@@ -205,9 +250,12 @@ class WirelessMedium:
         self.sim.schedule(delay, lambda: receiver.receive_raw(frame, raw))
 
     def _record_tx(self, now: float, air: float, sender, config: RadioConfig) -> None:
-        self._recent_tx.append(
-            (now + air, sender.position, config.tx_power_dbm, config.channel)
-        )
+        recent = self._recent_tx.get(config.channel)
+        if recent is None:
+            recent = self._recent_tx[config.channel] = deque()
+        while recent and recent[0][0] <= now:
+            recent.popleft()
+        recent.append((now + air, sender.position, config.tx_power_dbm))
 
     @property
     def delivery_ratio(self) -> float:

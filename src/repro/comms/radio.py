@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RadioConfig:
     """Radio parameters of a node.
 
@@ -84,7 +84,7 @@ def airtime_s(frame_bytes: int, bitrate_bps: float, overhead_s: float = 0.0002) 
     return overhead_s + (frame_bytes * 8.0) / bitrate_bps
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkBudget:
     """The computed budget of one transmission."""
 

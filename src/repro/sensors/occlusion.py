@@ -25,7 +25,7 @@ from repro.sim.geometry import Vec2
 from repro.sim.world import World
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SightLine:
     """The occlusion analysis of one observer→target sight line.
 

@@ -28,7 +28,7 @@ class SimulationError(RuntimeError):
     """Raised for kernel misuse (scheduling in the past, re-running, ...)."""
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 

@@ -29,7 +29,7 @@ class EventCategory(enum.Enum):
     SYSTEM = "system"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SimEvent:
     """A single event record.
 

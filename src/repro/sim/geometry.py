@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Vec2:
     """Immutable 2-D vector / point in metres."""
 
@@ -71,7 +71,7 @@ class Vec2:
         return Vec2(radius * math.cos(angle), radius * math.sin(angle))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Segment:
     """A line segment between two points."""
 

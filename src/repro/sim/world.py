@@ -11,12 +11,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.perf import counters as perf
 from repro.sim.geometry import Segment, Vec2
 from repro.sim.rng import RngStreams
 from repro.sim.terrain import Terrain, generate_terrain
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Tree:
     """A standing tree: a vertical cylinder that occludes and obstructs."""
 
@@ -26,7 +27,7 @@ class Tree:
     height: float = 18.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Zone:
     """A named rectangular operational zone (harvest site, landing area, ...)."""
 
@@ -61,6 +62,12 @@ class World:
 
     _CELL = 10.0  # metres; coarse grid cell for the tree index
 
+    #: canopy-cache key resolution: positions are quantised to millimetres,
+    #: so endpoints within 0.5 mm share an entry (static machines re-query
+    #: bit-identical positions every frame; anything moving changes key)
+    _CANOPY_QUANTUM = 1000.0
+    _CANOPY_CACHE_MAX = 65536
+
     def __init__(
         self,
         terrain: Terrain,
@@ -71,6 +78,7 @@ class World:
         self.trees: List[Tree] = []
         self.zones: Dict[str, Zone] = {}
         self._grid: Dict[Tuple[int, int], List[Tree]] = {}
+        self._canopy_cache: Dict[Tuple[int, int, int, int], float] = {}
         for tree in trees or []:
             self.add_tree(tree)
         for zone in zones or []:
@@ -87,6 +95,8 @@ class World:
     def add_tree(self, tree: Tree) -> None:
         self.trees.append(tree)
         self._grid.setdefault(self._cell(tree.position), []).append(tree)
+        # the forest changed: every memoised sight line is stale
+        self._canopy_cache.clear()
 
     def add_zone(self, zone: Zone) -> None:
         if zone.name in self.zones:
@@ -99,27 +109,33 @@ class World:
     def _cell(self, p: Vec2) -> Tuple[int, int]:
         return (int(p.x // self._CELL), int(p.y // self._CELL))
 
-    def _cells_along(self, seg: Segment, pad: float) -> Iterable[Tuple[int, int]]:
-        """Grid cells overlapping the segment's padded bounding box."""
-        min_x = min(seg.a.x, seg.b.x) - pad
-        max_x = max(seg.a.x, seg.b.x) + pad
-        min_y = min(seg.a.y, seg.b.y) - pad
-        max_y = max(seg.a.y, seg.b.y) + pad
-        for cx in range(int(min_x // self._CELL), int(max_x // self._CELL) + 1):
-            for cy in range(int(min_y // self._CELL), int(max_y // self._CELL) + 1):
-                yield (cx, cy)
+    def _trees_near(
+        self, ax: float, ay: float, bx: float, by: float, pad: float
+    ) -> List[Tree]:
+        """Trees whose cells overlap the padded bounding box of ``a``–``b``.
+
+        Each tree lives in exactly one grid cell, so the concatenated cell
+        buckets are already duplicate-free, in cell-scan order.
+        """
+        cell = self._CELL
+        grid = self._grid
+        min_x = (ax if ax < bx else bx) - pad
+        max_x = (ax if ax > bx else bx) + pad
+        min_y = (ay if ay < by else by) - pad
+        max_y = (ay if ay > by else by) + pad
+        found: List[Tree] = []
+        cy_lo = int(min_y // cell)
+        cy_hi = int(max_y // cell) + 1
+        for cx in range(int(min_x // cell), int(max_x // cell) + 1):
+            for cy in range(cy_lo, cy_hi):
+                bucket = grid.get((cx, cy))
+                if bucket:
+                    found.extend(bucket)
+        return found
 
     def trees_near_segment(self, seg: Segment, pad: float = 5.0) -> List[Tree]:
         """Candidate trees whose cells overlap the segment's bounding box."""
-        found: List[Tree] = []
-        seen = set()
-        for cell in self._cells_along(seg, pad):
-            for tree in self._grid.get(cell, ()):
-                key = id(tree)
-                if key not in seen:
-                    seen.add(key)
-                    found.append(tree)
-        return found
+        return self._trees_near(seg.a.x, seg.a.y, seg.b.x, seg.b.y, pad)
 
     def trees_within(self, center: Vec2, radius: float) -> List[Tree]:
         """Trees whose position lies within ``radius`` of ``center``."""
@@ -146,28 +162,91 @@ class World:
         detection probability.  A drone looking down suffers far less canopy
         blockage, which is modelled by the occlusion layer in
         :mod:`repro.sensors.occlusion`.
+
+        Results are memoised per millimetre-quantised endpoint pair: links
+        between static machines re-query the identical sight line every
+        frame.  The cache is cleared whenever a tree is added.
         """
-        seg = Segment(observer, target)
-        total = 0.0
-        length = seg.length()
+        q = self._CANOPY_QUANTUM
+        key = (
+            round(observer.x * q), round(observer.y * q),
+            round(target.x * q), round(target.y * q),
+        )
+        cache = self._canopy_cache
+        cached = cache.get(key)
+        if cached is not None:
+            if perf.ACTIVE:
+                perf.incr("world.canopy_cache_hit")
+            return cached
+        if perf.ACTIVE:
+            perf.incr("world.canopy_cache_miss")
+        total = self._canopy_blockage_uncached(observer, target)
+        if len(cache) >= self._CANOPY_CACHE_MAX:
+            cache.clear()
+        cache[key] = total
+        return total
+
+    def _canopy_blockage_uncached(self, observer: Vec2, target: Vec2) -> float:
+        # raw-float inline of Segment.circle_intersection_params over the
+        # candidate trees — identical arithmetic, no per-tree allocations
+        ax, ay = observer.x, observer.y
+        bx, by = target.x, target.y
+        length = math.hypot(ax - bx, ay - by)
         if length == 0.0:
             return 0.0
-        for tree in self.trees_near_segment(seg):
-            params = seg.circle_intersection_params(tree.position, tree.canopy_radius)
-            if params is not None:
-                total += (params[1] - params[0]) * length
+        dx = bx - ax
+        dy = by - ay
+        seg_norm_sq = dx * dx + dy * dy
+        sqrt = math.sqrt
+        total = 0.0
+        for tree in self._trees_near(ax, ay, bx, by, 5.0):
+            center = tree.position
+            radius = tree.canopy_radius
+            fx = ax - center.x
+            fy = ay - center.y
+            b_coef = 2.0 * (fx * dx + fy * dy)
+            c = (fx * fx + fy * fy) - radius * radius
+            disc = b_coef * b_coef - 4.0 * seg_norm_sq * c
+            if disc < 0.0:
+                continue
+            sqrt_disc = sqrt(disc)
+            t0 = (-b_coef - sqrt_disc) / (2.0 * seg_norm_sq)
+            t1 = (-b_coef + sqrt_disc) / (2.0 * seg_norm_sq)
+            lo = t0 if t0 > 0.0 else 0.0
+            hi = t1 if t1 < 1.0 else 1.0
+            if lo > hi:
+                continue
+            total += (hi - lo) * length
         return total
 
     def trunk_blocks(self, observer: Vec2, target: Vec2) -> bool:
         """True if a trunk lies directly on the sight line."""
-        seg = Segment(observer, target)
-        for tree in self.trees_near_segment(seg, pad=1.0):
+        # raw-float inline of Segment.distance_to_point over the candidates
+        ax, ay = observer.x, observer.y
+        bx, by = target.x, target.y
+        dx = bx - ax
+        dy = by - ay
+        denom = dx * dx + dy * dy
+        hypot = math.hypot
+        for tree in self._trees_near(ax, ay, bx, by, 1.0):
+            center = tree.position
+            tx, ty = center.x, center.y
+            trunk = tree.trunk_radius
             # Do not let the endpoints' own immediate surroundings count.
-            if tree.position.distance_to(observer) < tree.trunk_radius + 0.1:
+            if hypot(tx - ax, ty - ay) < trunk + 0.1:
                 continue
-            if tree.position.distance_to(target) < tree.trunk_radius + 0.1:
+            if hypot(tx - bx, ty - by) < trunk + 0.1:
                 continue
-            if seg.intersects_circle(tree.position, tree.trunk_radius):
+            if denom == 0.0:
+                dist = hypot(ax - tx, ay - ty)
+            else:
+                t = ((tx - ax) * dx + (ty - ay) * dy) / denom
+                if t < 0.0:
+                    t = 0.0
+                elif t > 1.0:
+                    t = 1.0
+                dist = hypot(ax + dx * t - tx, ay + dy * t - ty)
+            if dist <= trunk:
                 return True
         return False
 

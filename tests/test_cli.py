@@ -30,6 +30,12 @@ class TestParser:
         assert not args.resume
         assert args.out == "out/sweep.jsonl"
 
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.sort == "cumulative"
+        assert args.limit == 25
+        assert not args.perf
+
 
 class TestCommands:
     def test_campaigns_lists_registry(self, capsys):
@@ -73,6 +79,21 @@ class TestCommands:
         assert (tmp_path / "worksite_sac.md").exists()
         assert (tmp_path / "worksite_sac.dot").exists()
         assert "SAC:" in capsys.readouterr().out
+
+    def test_profile_short(self, capsys):
+        from repro.perf import counters
+
+        was_active = counters.ACTIVE
+        try:
+            assert main(["profile", "--seed", "3", "--minutes", "1",
+                         "--sort", "tottime", "--limit", "5", "--perf"]) == 0
+        finally:
+            counters.enable(was_active)
+            counters.reset()
+        out = capsys.readouterr().out
+        assert "function calls" in out          # cProfile table
+        assert "perf counters:" in out
+        assert "medium.frames_tx" in out
 
 
 class TestSweepCommand:
