@@ -14,6 +14,7 @@ from typing import List, Optional
 from repro.sim.engine import Simulator
 from repro.sim.events import EventCategory, EventLog
 from repro.sim.geometry import Vec2
+from repro.telemetry import tracer as trace
 
 
 class Attack:
@@ -40,6 +41,8 @@ class Attack:
             self.sim.now, EventCategory.ATTACK, "attack_started", self.name,
             attack_type=self.attack_type,
         )
+        if trace.ACTIVE:
+            trace.TRACER.attack_started(self.name, self.attack_type)
         self._on_start()
 
     def stop(self) -> None:
@@ -52,6 +55,8 @@ class Attack:
             self.sim.now, EventCategory.ATTACK, "attack_stopped", self.name,
             attack_type=self.attack_type,
         )
+        if trace.ACTIVE:
+            trace.TRACER.attack_stopped(self.name, self.attack_type)
         self._on_stop()
 
     def schedule(self, start_at: float, duration: Optional[float] = None) -> None:

@@ -20,16 +20,24 @@ Subcommands
 ``profile``
     Run the worksite under cProfile, print the hottest functions, and
     optionally (``--perf``) the :mod:`repro.perf` counter report.
+``trace``
+    Record a structured JSONL trace of a (optionally attacked) run and
+    print the analysis reports: per-link delivery/drop breakdown,
+    detection-latency percentiles and the attack-vs-defense timeline.
+    ``--analyze`` re-runs the reports on an existing trace file.
 
 Examples::
 
     repro-worksite run --seed 7 --minutes 30
+    repro-worksite run --minutes 10 --metrics-json out/metrics.json
     repro-worksite attack gnss_spoofing --undefended
     repro-worksite assess --characteristics
     repro-worksite sac --out out/
     repro-worksite sweep --campaigns all --n-seeds 3 --jobs 4 --resume
     repro-worksite sweep --spec examples/sweep_grid.toml --jobs 8
     repro-worksite profile --minutes 5 --sort tottime --perf
+    repro-worksite trace --campaign rf_jamming --minutes 5 --check
+    repro-worksite trace --analyze out/trace.jsonl
 """
 
 from __future__ import annotations
@@ -76,11 +84,87 @@ def _print_summary(scenario) -> None:
 def cmd_run(args) -> int:
     from repro.scenarios.worksite import build_worksite
 
-    scenario = build_worksite(_scenario_config(args))
+    config = _scenario_config(args)
+    if args.metrics_json:
+        config.metrics_interval_s = args.metrics_interval
+    scenario = build_worksite(config)
     horizon = args.minutes * 60.0
     print(f"running worksite seed={args.seed} for {args.minutes} min ...")
     scenario.run(horizon)
     _print_summary(scenario)
+    if args.metrics_json:
+        from repro.telemetry import TelemetryHub
+
+        scenario.collect_metrics()
+        hub = TelemetryHub()
+        hub.register_collector("worksite", scenario.metrics)
+        written = hub.export_json(args.metrics_json)
+        print(f"metrics:          {written}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.scenarios.campaigns import CAMPAIGN_BUILDERS, build_campaign
+    from repro.scenarios.worksite import build_worksite
+    from repro.telemetry import (
+        TraceWriter,
+        Tracer,
+        installed,
+        read_trace,
+        validate_trace,
+    )
+    from repro.telemetry.analysis import full_report
+
+    if args.analyze:
+        records = read_trace(args.analyze)
+        if args.check:
+            problems = validate_trace(records)
+            if problems:
+                for problem in problems:
+                    print(f"schema: {problem}", file=sys.stderr)
+                return 1
+            print(f"schema: {len(records)} records valid")
+        print(full_report(records))
+        return 0
+
+    if args.campaign and args.campaign not in CAMPAIGN_BUILDERS:
+        print(f"unknown campaign {args.campaign!r}; "
+              f"available: {', '.join(sorted(CAMPAIGN_BUILDERS))}",
+              file=sys.stderr)
+        return 2
+    scenario = build_worksite(_scenario_config(args))
+    horizon = args.minutes * 60.0
+    tracer = Tracer(scenario.sim, TraceWriter(args.out))
+    tracer.meta(
+        seed=args.seed,
+        profile=scenario.config.profile.value,
+        horizon_s=horizon,
+        campaign=args.campaign,
+    )
+    if args.campaign:
+        campaign = build_campaign(
+            args.campaign, scenario, start=args.start,
+            **({"duration": args.duration} if args.duration else {}),
+        )
+        campaign.arm()
+    target = "baseline" if not args.campaign else args.campaign
+    print(f"tracing {target!r} run seed={args.seed} "
+          f"for {args.minutes} min -> {args.out}")
+    with installed(tracer):
+        scenario.run(horizon)
+    tracer.close()
+    print(f"trace:            {tracer.record_count} records")
+    records = read_trace(args.out)
+    if args.check:
+        problems = validate_trace(records)
+        if problems:
+            for problem in problems:
+                print(f"schema: {problem}", file=sys.stderr)
+            return 1
+        print(f"schema: {len(records)} records valid")
+    if not args.no_report:
+        print()
+        print(full_report(records))
     return 0
 
 
@@ -337,6 +421,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run the nominal worksite")
     common(run_p)
+    run_p.add_argument("--metrics-json", default=None, metavar="PATH",
+                       help="write the unified telemetry snapshot (counters, "
+                            "gauges, series summaries) as JSON")
+    run_p.add_argument("--metrics-interval", type=float, default=5.0,
+                       help="series sampling interval in seconds "
+                            "(with --metrics-json)")
     run_p.set_defaults(func=cmd_run)
 
     attack_p = sub.add_parser("attack", help="run an attack campaign")
@@ -410,6 +500,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--quiet", action="store_true",
                          help="suppress per-run progress lines")
     sweep_p.set_defaults(func=cmd_sweep)
+
+    trace_p = sub.add_parser(
+        "trace", help="record a structured trace and print analysis reports"
+    )
+    common(trace_p)
+    trace_p.add_argument("--campaign", default=None,
+                         help="attack campaign to arm (default: baseline run)")
+    trace_p.add_argument("--start", type=float, default=120.0,
+                         help="attack start time (s)")
+    trace_p.add_argument("--duration", type=float, default=None,
+                         help="attack duration (s)")
+    trace_p.add_argument("--out", default="out/trace.jsonl",
+                         help="JSONL trace output path")
+    trace_p.add_argument("--check", action="store_true",
+                         help="validate every record against the schema "
+                              "(exit 1 on violations)")
+    trace_p.add_argument("--analyze", default=None, metavar="PATH",
+                         help="skip the run; report on an existing trace file")
+    trace_p.add_argument("--no-report", action="store_true",
+                         help="record only, skip the analysis reports")
+    trace_p.set_defaults(func=cmd_trace)
     return parser
 
 

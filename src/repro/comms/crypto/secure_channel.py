@@ -141,6 +141,14 @@ class SecureChannel:
         self.records_opened = 0
         self.records_rejected = 0
 
+    def stats(self) -> Dict[str, int]:
+        """Record-layer counters (consumed by the telemetry hub)."""
+        return {
+            "sealed": self.records_sealed,
+            "opened": self.records_opened,
+            "rejected": self.records_rejected,
+        }
+
     # -- record layer -------------------------------------------------------
     def seal(self, plaintext: bytes, aad: bytes = b"") -> Record:
         """Protect ``plaintext`` for the peer."""

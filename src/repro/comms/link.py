@@ -15,6 +15,7 @@ from repro.comms.radio import RadioConfig
 from repro.sim.engine import Simulator
 from repro.sim.events import EventCategory, EventLog
 from repro.sim.geometry import Vec2
+from repro.telemetry import tracer as trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.comms.medium import WirelessMedium
@@ -124,6 +125,8 @@ class LinkEndpoint:
             return -1
         if not self.associated:
             self.frames_dropped_unassociated += 1
+            if trace.ACTIVE:
+                trace.TRACER.frame_drop(self.name, dst, -1, "unassociated_tx")
             return -1
         self._seq += 1
         frame = Frame(src=self.name, dst=dst, frame_type=FrameType.DATA, seq=self._seq)
@@ -180,6 +183,10 @@ class LinkEndpoint:
             return
         if not self.associated:
             self.frames_dropped_unassociated += 1
+            if trace.ACTIVE:
+                trace.TRACER.frame_drop(
+                    frame.src, self.name, frame.seq, "unassociated_rx"
+                )
             return
         # duplicate suppression per peer: a bounded cache of recent sequence
         # numbers (a high-water mark would let an attacker poison the counter
@@ -192,7 +199,15 @@ class LinkEndpoint:
                 del recent[:-64]
         self._send_ack(frame)
         if duplicate:
+            if trace.ACTIVE:
+                trace.TRACER.frame_drop(
+                    frame.src, self.name, frame.seq, "duplicate"
+                )
             return
+        if trace.ACTIVE:
+            trace.TRACER.frame_rx(
+                self.name, frame.src, frame.seq, frame.frame_type.value
+            )
         if self._rx_handler is not None:
             self._rx_handler(frame, raw)
 
@@ -210,11 +225,15 @@ class LinkEndpoint:
                     self.sim.now, EventCategory.DEFENSE, "deauth_rejected", self.name,
                     src=frame.src,
                 )
+                if trace.ACTIVE:
+                    trace.TRACER.link_deauth(self.name, frame.src, False)
                 return
         self.associated = False
         self.log.emit(
             self.sim.now, EventCategory.COMMS, "deauthenticated", self.name, src=frame.src
         )
+        if trace.ACTIVE:
+            trace.TRACER.link_deauth(self.name, frame.src, True)
         self.sim.schedule(self.reassociation_time_s, self._reassociate)
 
     def _reassociate(self) -> None:

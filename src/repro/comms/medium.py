@@ -24,6 +24,7 @@ from repro.comms.radio import (
 )
 from repro.perf import counters as perf
 from repro.sim.engine import Simulator
+from repro.telemetry import tracer as trace
 from repro.sim.events import EventCategory, EventLog
 from repro.sim.geometry import Vec2
 from repro.sim.rng import RngStreams
@@ -209,6 +210,8 @@ class WirelessMedium:
         self.frames_sent += 1
         now = self.sim.now
         config = sender.radio
+        if trace.ACTIVE:
+            trace.TRACER.frame_tx(frame, len(raw), config.channel)
         air = airtime_s(len(raw), config.bitrate_bps)
         windows = self._airtime_windows.get(config.channel)
         if windows is None:
@@ -225,6 +228,9 @@ class WirelessMedium:
         if receiver is None or not receiver.powered:
             self._record_tx(now, air, sender, config)
             self.frames_lost += 1
+            if trace.ACTIVE:
+                cause = "dst_unknown" if receiver is None else "dst_unpowered"
+                trace.TRACER.frame_drop(frame.src, frame.dst, frame.seq, cause)
             return
         distance = sender.position.distance_to(receiver.position)
         canopy = 0.0
@@ -244,9 +250,16 @@ class WirelessMedium:
                 now, EventCategory.COMMS, "frame_lost", sender.name,
                 dst=frame.dst, snr_db=round(budget.snr_db, 1),
             )
+            if trace.ACTIVE:
+                trace.TRACER.frame_drop(
+                    frame.src, frame.dst, frame.seq, "link_budget",
+                    snr_db=round(budget.snr_db, 1),
+                )
             return
         self.frames_delivered += 1
         delay = self.propagation_delay_s + air
+        if trace.ACTIVE:
+            trace.TRACER.frame_delivered(frame, budget.snr_db, delay)
         self.sim.schedule(delay, lambda: receiver.receive_raw(frame, raw))
 
     def _record_tx(self, now: float, air: float, sender, config: RadioConfig) -> None:

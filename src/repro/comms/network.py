@@ -28,6 +28,7 @@ from repro.comms.medium import WirelessMedium
 from repro.comms.messages import Message
 from repro.sim.engine import Simulator
 from repro.sim.events import EventCategory, EventLog
+from repro.telemetry import tracer as trace
 
 _PROFILE_CODES = {
     SecurityProfile.PLAINTEXT: 0,
@@ -93,6 +94,13 @@ class CommNode:
     def channel_to(self, peer: str) -> Optional[SecureChannel]:
         return self._channels.get(peer)
 
+    def channel_stats(self) -> Dict[str, Dict[str, int]]:
+        """Record-layer counters per attached peer channel."""
+        return {
+            peer: channel.stats()
+            for peer, channel in sorted(self._channels.items())
+        }
+
     # -- handlers -----------------------------------------------------------
     def on_message(self, msg_type: str, handler: Callable[[Message], None]) -> None:
         """Register a handler for messages of ``msg_type`` ('*' for all)."""
@@ -115,7 +123,12 @@ class CommNode:
             record = channel.seal(raw)
             wire = encode_record(record)
         else:
-            wire = encode_record(Record(seq=self._seq, body=raw, profile="plaintext"))
+            record = Record(seq=self._seq, body=raw, profile="plaintext")
+            wire = encode_record(record)
+        if trace.ACTIVE:
+            trace.TRACER.record_seal(
+                self.name, message.recipient, record.profile, record.seq, len(wire)
+            )
         self.endpoint.send(message.recipient, wire, reliable=reliable)
         self.messages_sent += 1
 
@@ -125,6 +138,8 @@ class CommNode:
             record = decode_record(raw)
         except ChannelError:
             self.records_rejected += 1
+            if trace.ACTIVE:
+                trace.TRACER.record_drop(self.name, frame.src, "decode_error")
             return
         channel = self._channels.get(frame.src)
         if channel is not None:
@@ -136,10 +151,16 @@ class CommNode:
                     self.sim.now, EventCategory.SECURITY, "record_rejected", self.name,
                     src=frame.src, reason=str(exc),
                 )
+                if trace.ACTIVE:
+                    trace.TRACER.record_drop(
+                        self.name, frame.src, "record_rejected", reason=str(exc)
+                    )
                 return
         else:
             if record.profile != "plaintext":
                 self.records_rejected += 1
+                if trace.ACTIVE:
+                    trace.TRACER.record_drop(self.name, frame.src, "no_channel")
                 return
             plaintext = record.body
             self.unprotected_accepted += 1
@@ -147,8 +168,16 @@ class CommNode:
             message = Message.decode(plaintext)
         except Exception:
             self.records_rejected += 1
+            if trace.ACTIVE:
+                trace.TRACER.record_drop(
+                    self.name, frame.src, "message_decode_error"
+                )
             return
         self.messages_received += 1
+        if trace.ACTIVE:
+            trace.TRACER.record_open(
+                self.name, frame.src, record.seq, message.msg_type
+            )
         self._dispatch(message)
 
     def _dispatch(self, message: Message) -> None:

@@ -7,6 +7,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.events import EventCategory, EventLog
+from repro.telemetry import tracer as trace
 
 
 @dataclass(frozen=True)
@@ -72,6 +73,8 @@ class IntrusionDetector:
             self.sim.now, EventCategory.DEFENSE, "ids_alert", self.name,
             alert_type=alert_type, confidence=round(confidence, 3),
         )
+        if trace.ACTIVE:
+            trace.TRACER.ids_alert(self.name, alert_type, confidence)
         for sink in self._sinks:
             sink(alert)
         return alert

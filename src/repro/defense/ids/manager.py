@@ -60,6 +60,14 @@ class IdsManager:
     def alerts_of_type(self, alert_type: str) -> List[Alert]:
         return [a for a in self.alerts if a.alert_type == alert_type]
 
+    def summary(self) -> Dict[str, int]:
+        """Alert accounting (consumed by scenario metrics collection)."""
+        return {
+            "detectors": len(self.detectors),
+            "alerts": len(self.alerts),
+            "suppressed": self.suppressed,
+        }
+
     def score(
         self,
         ground_truth: Sequence[Tuple[str, float, float]],

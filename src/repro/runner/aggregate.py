@@ -43,7 +43,7 @@ def summarize_group(records: Sequence[dict]) -> dict:
     summaries = [r["summary"] for r in ok]
     detections = [r["detection"] for r in ok if r.get("detection")]
     channels = [r["channel"] for r in ok]
-    return {
+    summary = {
         "runs": len(records),
         "failed": sum(1 for r in records if r.get("status") != "ok"),
         "delivered_m3": _mean([s["delivered_m3"] for s in summaries]),
@@ -67,6 +67,40 @@ def summarize_group(records: Sequence[dict]) -> dict:
             [float(c["deauths_accepted"]) for c in channels]
         ),
     }
+    telemetry = [r["telemetry"] for r in ok if r.get("telemetry")]
+    if telemetry:
+        summary["telemetry"] = {
+            "trace_records": _mean(
+                [float(t["records"]) for t in telemetry]
+            ),
+            "frames_dropped": _mean(
+                [float(t["frames"]["dropped"]) for t in telemetry]
+            ),
+            "detection_latency_p95_s": _mean(
+                [t["detection"]["latency_p95_s"] for t in telemetry]
+            ),
+            "safety_interventions": _mean(
+                [float(t["safety"]["interventions"]) for t in telemetry]
+            ),
+        }
+    perf_snaps = [
+        r["perf"] for r in records
+        if r.get("status") == "ok" and r.get("perf")
+    ]
+    if perf_snaps:
+        counter_names = sorted(
+            {name for snap in perf_snaps for name in snap.get("counters", {})}
+        )
+        summary["perf"] = {
+            "counters": {
+                name: _mean(
+                    [float(s.get("counters", {}).get(name, 0.0))
+                     for s in perf_snaps]
+                )
+                for name in counter_names
+            },
+        }
+    return summary
 
 
 def aggregate_rows(records: Sequence[dict]) -> List[dict]:

@@ -10,7 +10,10 @@ of propagating, so one broken cell never kills the sweep.
 
 The record's ``result`` sub-dict is a pure function of the spec (the
 determinism contract the cache relies on); wall-clock timing lives outside
-it under ``wall_s``.
+it under ``wall_s``, and so does the optional ``perf`` counter snapshot
+(its ``timings`` carry wall-clock seconds).  The deterministic telemetry
+summary recorded under ``REPRO_TRACE=1`` *is* spec-pure, so it rides inside
+``result`` as ``result["telemetry"]``.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import time
 import traceback
 from typing import Mapping, Optional, Union
 
+from repro.perf import counters as perf
 from repro.runner.spec import RunSpec
 
 
@@ -26,6 +30,8 @@ def execute_run(spec: Union[RunSpec, Mapping]) -> dict:
     """Execute one run; never raises (failures become failed records)."""
     if not isinstance(spec, RunSpec):
         spec = RunSpec.from_dict(spec)
+    if perf.enabled():
+        perf.reset()
     started = time.perf_counter()
     try:
         result = _simulate(spec)
@@ -35,7 +41,7 @@ def execute_run(spec: Union[RunSpec, Mapping]) -> dict:
         error = "".join(
             traceback.format_exception_only(type(exc), exc)
         ).strip()
-    return {
+    record = {
         "key": spec.key,
         "spec": spec.to_dict(),
         "status": status,
@@ -43,12 +49,16 @@ def execute_run(spec: Union[RunSpec, Mapping]) -> dict:
         "result": result,
         "wall_s": round(time.perf_counter() - started, 3),
     }
+    if perf.enabled():
+        record["perf"] = perf.snapshot()
+    return record
 
 
 def _simulate(spec: RunSpec) -> dict:
     # imported here so pool workers pay the import cost once per process,
     # not once per module import on the coordinator
     from repro.scenarios.factory import compose_run
+    from repro.telemetry import tracer as trace
 
     prepared = compose_run(
         seed=spec.seed,
@@ -59,7 +69,15 @@ def _simulate(spec: RunSpec) -> dict:
         overrides=dict(spec.overrides),
     )
     scenario = prepared.scenario
-    scenario.run(spec.horizon_s)
+    tracer = None
+    if trace.env_enabled():
+        tracer = trace.Tracer(scenario.sim)
+        trace.install(tracer)
+    try:
+        scenario.run(spec.horizon_s)
+    finally:
+        if tracer is not None:
+            trace.uninstall()
 
     detection: Optional[dict] = None
     manager = prepared.score_manager()
@@ -78,7 +96,7 @@ def _simulate(spec: RunSpec) -> dict:
             "alerts": len(manager.alerts),
         }
     forwarder_node = scenario.network.nodes["forwarder"]
-    return {
+    result = {
         "summary": scenario.summary(),
         "detection": detection,
         "channel": {
@@ -88,3 +106,6 @@ def _simulate(spec: RunSpec) -> dict:
             "forged_executed": scenario.command_channel.executed,
         },
     }
+    if tracer is not None:
+        result["telemetry"] = tracer.summary()
+    return result

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 from repro.sim.engine import Simulator
 from repro.sim.entities import Entity
 from repro.sim.events import EventCategory, EventLog
+from repro.telemetry import tracer as trace
 
 
 @dataclass
@@ -100,6 +101,10 @@ class SafetyMonitor:
                             separation_m=round(separation, 2),
                             speed=round(machine.state.speed, 2),
                         )
+                        if trace.ACTIVE:
+                            trace.TRACER.safety_violation(
+                                machine.name, person.name, separation
+                            )
                     else:
                         episode.min_separation_m = min(episode.min_separation_m, separation)
                 else:
@@ -119,6 +124,10 @@ class SafetyMonitor:
                         machine.name, person=person.name,
                         separation_m=round(separation, 2),
                     )
+                    if trace.ACTIVE:
+                        trace.TRACER.safety_near_miss(
+                            machine.name, person.name, separation
+                        )
                 self._in_near_zone[key] = in_near
 
     @property

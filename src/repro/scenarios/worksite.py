@@ -82,6 +82,9 @@ class ScenarioConfig:
     weather_frozen: bool = False
     pile_volume_m3: float = 120.0
     group: DhGroup = TEST_GROUP  # small group keeps scenario start-up fast
+    #: sample delivery ratio / speed / separation into ``metrics`` every this
+    #: many seconds; None (the default) schedules no sampler at all
+    metrics_interval_s: Optional[float] = None
 
 
 @dataclass
@@ -133,6 +136,48 @@ class WorksiteScenario:
             "safety": self.safety_monitor.summary(),
             "alerts": len(self.ids_manager.alerts) if self.ids_manager else 0,
         }
+
+    def collect_metrics(self) -> MetricsCollector:
+        """Fold every subsystem's counters into :attr:`metrics`.
+
+        Idempotent: counters are synchronised to the live subsystem values,
+        so calling this again mid-run or at the end never double-counts.
+        Series samples accumulate separately via ``metrics_interval_s``.
+        """
+        metrics = self.metrics
+
+        def sync(name: str, value: float) -> None:
+            metrics.increment(name, value - metrics.counter(name))
+
+        sync("comms.frames_sent", self.medium.frames_sent)
+        sync("comms.frames_delivered", self.medium.frames_delivered)
+        sync("comms.frames_lost", self.medium.frames_lost)
+        for node in self.network.nodes.values():
+            prefix = f"comms.{node.name}"
+            sync(f"{prefix}.messages_sent", node.messages_sent)
+            sync(f"{prefix}.messages_received", node.messages_received)
+            sync(f"{prefix}.records_rejected", node.records_rejected)
+            sync(f"{prefix}.deauths_received", node.endpoint.deauths_received)
+            sync(f"{prefix}.deauths_rejected", node.endpoint.deauths_rejected)
+            for peer, stats in node.channel_stats().items():
+                for kind, count in stats.items():
+                    sync(f"{prefix}.channel.{peer}.{kind}", count)
+        sync("mission.delivered_m3", self.mission.delivered_m3)
+        sync("mission.cycles", self.mission.cycles_completed)
+        sync("safety.safe_stops", self.forwarder.safe_stops)
+        sync("safety.violations", self.safety_monitor.violation_count)
+        sync("safety.near_misses", self.safety_monitor.near_misses)
+        if self.ids_manager is not None:
+            ids = self.ids_manager.summary()
+            sync("ids.alerts", ids["alerts"])
+            sync("ids.suppressed", ids["suppressed"])
+        metrics.set_gauge("comms.delivery_ratio", self.medium.delivery_ratio)
+        metrics.set_gauge("sim.time_s", self.sim.now)
+        if self.safety_monitor.min_separation_m != float("inf"):
+            metrics.set_gauge(
+                "safety.min_separation_m", self.safety_monitor.min_separation_m
+            )
+        return metrics
 
 
 def build_worksite(config: Optional[ScenarioConfig] = None) -> WorksiteScenario:
@@ -378,6 +423,21 @@ def build_worksite(config: Optional[ScenarioConfig] = None) -> WorksiteScenario:
     safety_monitor = SafetyMonitor(
         [forwarder, harvester], workers, sim, log
     )
+
+    if config.metrics_interval_s is not None:
+
+        def _sample_metrics() -> None:
+            now = sim.now
+            metrics.sample("comms.delivery_ratio", now, medium.delivery_ratio)
+            metrics.sample("forwarder.speed", now, forwarder.state.speed)
+            metrics.sample("mission.delivered_m3", now, mission.delivered_m3)
+            if safety_monitor.min_separation_m != float("inf"):
+                metrics.sample(
+                    "safety.min_separation_m", now,
+                    safety_monitor.min_separation_m,
+                )
+
+        sim.every(config.metrics_interval_s, _sample_metrics)
 
     return WorksiteScenario(
         config=config,

@@ -21,6 +21,7 @@ from repro.sim.geometry import Vec2
 from repro.sim.missions import LogPile, MissionPhase, MissionPlan
 from repro.sim.paths import GridPlanner, PathNotFound
 from repro.sim.world import World
+from repro.telemetry import tracer as trace
 
 
 class Forwarder(Entity):
@@ -68,6 +69,16 @@ class Forwarder(Entity):
             # begin the first cycle shortly after start
             sim.schedule(1.0, self._begin_cycle)
 
+    # -- phase bookkeeping ----------------------------------------------------
+    def _set_phase(self, phase: MissionPhase) -> None:
+        """Transition the mission phase (traced when telemetry is active)."""
+        prev = self.phase
+        if phase is prev:
+            return
+        self.phase = phase
+        if trace.ACTIVE:
+            trace.TRACER.mission_phase(self.name, phase.value, prev.value)
+
     # -- safety hooks -------------------------------------------------------
     @property
     def safe_stopped(self) -> bool:
@@ -79,19 +90,25 @@ class Forwarder(Entity):
             self._safe_stop_reasons.append(reason)
         if self.phase is not MissionPhase.SAFE_STOP:
             self._phase_before_stop = self.phase
-            self.phase = MissionPhase.SAFE_STOP
+            self._set_phase(MissionPhase.SAFE_STOP)
             self.halt()
             self.safe_stops += 1
             self.emit(EventCategory.SAFETY, "safe_stop", reason=reason)
+            if trace.ACTIVE:
+                trace.TRACER.safety_intervention(
+                    self.name, "safe_stop", reason=reason
+                )
 
     def clear_safe_stop(self, reason: str) -> None:
         """Withdraw one stop reason; motion resumes when none remain."""
         if reason in self._safe_stop_reasons:
             self._safe_stop_reasons.remove(reason)
         if not self._safe_stop_reasons and self.phase is MissionPhase.SAFE_STOP:
-            self.phase = self._phase_before_stop or MissionPhase.IDLE
+            self._set_phase(self._phase_before_stop or MissionPhase.IDLE)
             self._phase_before_stop = None
             self.emit(EventCategory.SAFETY, "safe_stop_cleared")
+            if trace.ACTIVE:
+                trace.TRACER.safety_intervention(self.name, "safe_stop_cleared")
             if self.phase in (MissionPhase.TO_PILE, MissionPhase.TO_LANDING):
                 self.resume(self._allowed_speed())
             elif self.phase is MissionPhase.IDLE and self.mission is not None:
@@ -107,6 +124,8 @@ class Forwarder(Entity):
         """Cap speed (degraded mode); ``None`` removes the cap."""
         self.speed_limit = limit
         self.emit(EventCategory.SAFETY, "speed_limit", limit=limit)
+        if trace.ACTIVE:
+            trace.TRACER.safety_intervention(self.name, "speed_limit", limit=limit)
         if self.phase in (MissionPhase.TO_PILE, MissionPhase.TO_LANDING):
             self.resume(self._allowed_speed())
 
@@ -121,7 +140,7 @@ class Forwarder(Entity):
             return
         pile = self.mission.next_pile()
         if pile is None:
-            self.phase = MissionPhase.IDLE
+            self._set_phase(MissionPhase.IDLE)
             self.emit(EventCategory.MISSION, "mission_complete",
                       delivered_m3=self.mission.delivered_m3,
                       cycles=self.mission.cycles_completed)
@@ -136,9 +155,9 @@ class Forwarder(Entity):
             self.replan_failures += 1
             self.emit(EventCategory.MISSION, "replan_failed",
                       destination=(destination.x, destination.y))
-            self.phase = MissionPhase.IDLE
+            self._set_phase(MissionPhase.IDLE)
             return
-        self.phase = phase
+        self._set_phase(phase)
         self.set_route(route, speed=self._allowed_speed())
         self.emit(EventCategory.MISSION, "drive_started", phase=phase.value,
                   waypoints=len(route))
@@ -151,7 +170,7 @@ class Forwarder(Entity):
 
     def _start_loading(self) -> None:
         assert self.mission is not None
-        self.phase = MissionPhase.LOADING
+        self._set_phase(MissionPhase.LOADING)
         self.emit(EventCategory.MISSION, "loading_started")
         self.sim.schedule(self.mission.load_time_s, self._finish_loading)
 
@@ -166,7 +185,7 @@ class Forwarder(Entity):
 
     def _start_unloading(self) -> None:
         assert self.mission is not None
-        self.phase = MissionPhase.UNLOADING
+        self._set_phase(MissionPhase.UNLOADING)
         self.emit(EventCategory.MISSION, "unloading_started")
         self.sim.schedule(self.mission.unload_time_s, self._finish_unloading)
 

@@ -11,6 +11,25 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 
+def percentile(sorted_values: List[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of pre-sorted values, linearly interpolated.
+
+    Matches numpy's default ``linear`` method; an empty input returns 0.0
+    so summaries of missing series stay all-zero rather than raising.
+    """
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (len(sorted_values) - 1) * q
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return sorted_values[lo]
+    frac = rank - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
 @dataclass
 class SeriesSummary:
     """Summary statistics of a sampled series."""
@@ -20,6 +39,8 @@ class SeriesSummary:
     minimum: float
     maximum: float
     std: float
+    p50: float = 0.0
+    p95: float = 0.0
 
     @staticmethod
     def of(values: List[float]) -> "SeriesSummary":
@@ -28,7 +49,23 @@ class SeriesSummary:
         n = len(values)
         mean = sum(values) / n
         var = sum((v - mean) ** 2 for v in values) / n
-        return SeriesSummary(n, mean, min(values), max(values), math.sqrt(var))
+        ordered = sorted(values)
+        return SeriesSummary(
+            n, mean, ordered[0], ordered[-1], math.sqrt(var),
+            p50=percentile(ordered, 0.50), p95=percentile(ordered, 0.95),
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for JSON export (used by the telemetry hub)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "std": self.std,
+            "p50": self.p50,
+            "p95": self.p95,
+        }
 
 
 class MetricsCollector:
@@ -57,6 +94,10 @@ class MetricsCollector:
     def gauge(self, name: str, default: float = 0.0) -> float:
         return self._gauges.get(name, default)
 
+    @property
+    def gauges(self) -> Dict[str, float]:
+        return dict(self._gauges)
+
     # -- series -----------------------------------------------------------
     def sample(self, name: str, time: float, value: float) -> None:
         self._series.setdefault(name, []).append((time, value))
@@ -66,6 +107,9 @@ class MetricsCollector:
 
     def series_values(self, name: str) -> List[float]:
         return [v for _, v in self._series.get(name, ())]
+
+    def series_names(self) -> List[str]:
+        return sorted(self._series)
 
     def summarize(self, name: str) -> SeriesSummary:
         return SeriesSummary.of(self.series_values(name))

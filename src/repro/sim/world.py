@@ -199,6 +199,16 @@ class World:
         seg_norm_sq = dx * dx + dy * dy
         sqrt = math.sqrt
         total = 0.0
+        if seg_norm_sq == 0.0:
+            # denormal endpoint separation: length is nonzero but the squared
+            # direction underflows.  Mirror Segment.circle_intersection_params,
+            # which treats a == 0.0 as a point segment covered by any canopy
+            # the point sits inside.
+            for tree in self._trees_near(ax, ay, bx, by, 5.0):
+                center = tree.position
+                if math.hypot(ax - center.x, ay - center.y) <= tree.canopy_radius:
+                    total += length
+            return total
         for tree in self._trees_near(ax, ay, bx, by, 5.0):
             center = tree.position
             radius = tree.canopy_radius

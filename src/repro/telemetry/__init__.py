@@ -1,0 +1,49 @@
+"""Deterministic, sim-time-stamped telemetry for worksite runs.
+
+Three cooperating pieces:
+
+* :mod:`repro.telemetry.tracer` — a :class:`Tracer` that records typed
+  span/event records (frame lifecycle, attack windows, IDS detections,
+  safety interventions, mission phases) behind the same
+  one-attribute-check-when-disabled guard as :mod:`repro.perf`;
+* :mod:`repro.telemetry.hub` — a :class:`TelemetryHub` registry that
+  unifies :class:`~repro.sim.metrics.MetricsCollector` contents, the
+  :mod:`repro.perf` counters and a tracer summary under one snapshot /
+  JSON-export surface;
+* :mod:`repro.telemetry.analysis` — report generation over recorded
+  traces (per-link delivery/drop breakdown, detection-latency
+  percentiles, attack-vs-defense timeline), driving the
+  ``repro-worksite trace`` CLI subcommand.
+
+Every record is stamped with *simulated* time only, so the same scenario
+and seed always produce byte-identical trace files (asserted by
+``tests/integration/test_trace_determinism.py``).
+"""
+
+from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.schema import (
+    DROP_CAUSES,
+    RECORD_TYPES,
+    SCHEMA_VERSION,
+    validate_record,
+    validate_trace,
+)
+from repro.telemetry.tracer import Tracer, env_enabled, install, installed, uninstall
+from repro.telemetry.writer import TraceWriter, canonical_line, read_trace
+
+__all__ = [
+    "DROP_CAUSES",
+    "RECORD_TYPES",
+    "SCHEMA_VERSION",
+    "TelemetryHub",
+    "TraceWriter",
+    "Tracer",
+    "canonical_line",
+    "env_enabled",
+    "install",
+    "installed",
+    "read_trace",
+    "uninstall",
+    "validate_record",
+    "validate_trace",
+]

@@ -1,0 +1,182 @@
+"""Report generation over recorded traces.
+
+Three reports back the ``repro-worksite trace`` subcommand:
+
+* :func:`link_report` — per-link delivery/drop breakdown with the
+  drop-cause taxonomy split out;
+* :func:`latency_report` — IDS detection-latency distribution (p50/p95
+  via :class:`~repro.sim.metrics.SeriesSummary`) plus false-alarm counts;
+* :func:`timeline_report` — the chronological attack-vs-defense story:
+  attack windows, detections, de-auth outcomes and safety interventions
+  interleaved in simulated-time order.
+
+All functions take the parsed record list from
+:func:`repro.telemetry.writer.read_trace`, so the reports run equally on a
+trace that was just recorded or one loaded from disk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Sequence
+
+from repro.analysis.tables import Table
+from repro.sim.metrics import SeriesSummary
+
+
+def of_type(records: Sequence[dict], rtype: str) -> List[dict]:
+    """Records of one type, in trace order."""
+    return [r for r in records if r.get("type") == rtype]
+
+
+# -- per-link delivery / drop breakdown -------------------------------------
+
+def link_breakdown(records: Sequence[dict]) -> "OrderedDict[str, dict]":
+    """Per-link tx/delivered/dropped counts with per-cause split.
+
+    Keys are ``"src->dst"`` in first-seen order; record-layer drops are
+    attributed to the ``node<-peer`` direction they were rejected on.
+    """
+    links: "OrderedDict[str, dict]" = OrderedDict()
+
+    def entry(key: str) -> dict:
+        return links.setdefault(
+            key, {"tx": 0, "delivered": 0, "dropped": 0, "causes": {}}
+        )
+
+    for record in records:
+        rtype = record.get("type")
+        if rtype == "frame.tx":
+            entry(f"{record['src']}->{record['dst']}")["tx"] += 1
+        elif rtype == "frame.delivered":
+            entry(f"{record['src']}->{record['dst']}")["delivered"] += 1
+        elif rtype in ("frame.drop", "record.drop"):
+            if rtype == "frame.drop":
+                key = f"{record['src']}->{record['dst']}"
+            else:
+                key = f"{record['peer']}->{record['node']}"
+            link = entry(key)
+            link["dropped"] += 1
+            cause = record.get("cause", "?")
+            link["causes"][cause] = link["causes"].get(cause, 0) + 1
+    return links
+
+
+def link_report(records: Sequence[dict]) -> str:
+    """The per-link breakdown as a fixed-width table."""
+    table = Table(
+        ["link", "tx", "delivered", "dropped", "delivery", "top causes"],
+        title="per-link delivery / drop breakdown",
+    )
+    for name, stats in link_breakdown(records).items():
+        tx = stats["tx"]
+        ratio = stats["delivered"] / tx if tx else None
+        causes = ", ".join(
+            f"{cause}:{count}"
+            for cause, count in sorted(
+                stats["causes"].items(), key=lambda kv: (-kv[1], kv[0])
+            )[:3]
+        )
+        table.add_row(
+            name, tx, stats["delivered"], stats["dropped"], ratio, causes or "-"
+        )
+    return table.render()
+
+
+# -- detection latency -------------------------------------------------------
+
+def detection_latencies(records: Sequence[dict]) -> List[float]:
+    """In-window alert latencies, in trace order."""
+    return [
+        r["latency_s"]
+        for r in of_type(records, "ids.alert")
+        if r.get("latency_s") is not None
+    ]
+
+
+def latency_report(records: Sequence[dict]) -> str:
+    """Detection-latency percentiles and false-alarm accounting."""
+    alerts = of_type(records, "ids.alert")
+    in_window = [r for r in alerts if r.get("in_window")]
+    latencies = detection_latencies(records)
+    summary = SeriesSummary.of(latencies)
+    lines = ["detection latency"]
+    lines.append("=" * 40)
+    lines.append(f"alerts:          {len(alerts)}")
+    lines.append(f"in attack window: {len(in_window)}")
+    lines.append(f"false alarms:    {len(alerts) - len(in_window)}")
+    if summary.count:
+        lines.append(f"latency mean:    {summary.mean:.2f} s")
+        lines.append(f"latency p50:     {summary.p50:.2f} s")
+        lines.append(f"latency p95:     {summary.p95:.2f} s")
+        lines.append(f"latency max:     {summary.maximum:.2f} s")
+    else:
+        lines.append("latency:         no in-window alerts")
+    return "\n".join(lines)
+
+
+# -- attack-vs-defense timeline ----------------------------------------------
+
+#: record types shown on the timeline, with a column tag each
+_TIMELINE_TAGS: Dict[str, str] = {
+    "attack.start": "ATTACK",
+    "attack.stop": "ATTACK",
+    "ids.alert": "IDS",
+    "link.deauth": "LINK",
+    "safety.intervention": "SAFETY",
+    "safety.violation": "SAFETY",
+    "safety.near_miss": "SAFETY",
+}
+
+
+def _timeline_line(record: dict) -> str:
+    rtype = record["type"]
+    if rtype == "attack.start":
+        body = f"{record['attack']} started ({record['attack_type']})"
+    elif rtype == "attack.stop":
+        body = (f"{record['attack']} stopped "
+                f"after {record['duration_s']:.1f} s")
+    elif rtype == "ids.alert":
+        latency = record.get("latency_s")
+        suffix = (
+            f"latency {latency:.1f} s" if latency is not None else "false alarm"
+        )
+        body = (f"{record['detector']} alert {record['alert_type']} "
+                f"({suffix})")
+    elif rtype == "link.deauth":
+        verdict = "accepted" if record["accepted"] else "rejected"
+        body = f"{record['node']} de-auth from {record['src']} {verdict}"
+    elif rtype == "safety.intervention":
+        detail = record.get("reason") or record.get("limit")
+        body = f"{record['machine']} {record['action']}"
+        if detail is not None:
+            body += f" ({detail})"
+    else:  # safety.violation / safety.near_miss
+        kind = "violation" if rtype == "safety.violation" else "near miss"
+        body = (f"{record['machine']} {kind} with {record['person']} "
+                f"at {record['separation_m']:.1f} m")
+    tag = _TIMELINE_TAGS[rtype]
+    return f"{record['t']:>9.1f} s  {tag:<7} {body}"
+
+
+def timeline_report(records: Sequence[dict], *, limit: int = 80) -> str:
+    """Attack/defense/safety events interleaved in simulated-time order."""
+    rows = [r for r in records if r.get("type") in _TIMELINE_TAGS]
+    lines = ["attack-vs-defense timeline", "=" * 40]
+    if not rows:
+        lines.append("(no attack, detection or safety events)")
+        return "\n".join(lines)
+    shown = rows[:limit]
+    lines.extend(_timeline_line(r) for r in shown)
+    if len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more events")
+    return "\n".join(lines)
+
+
+def full_report(records: Sequence[dict]) -> str:
+    """All three reports concatenated (what the CLI prints)."""
+    return "\n\n".join([
+        link_report(records),
+        latency_report(records),
+        timeline_report(records),
+    ])

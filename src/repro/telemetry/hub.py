@@ -1,0 +1,82 @@
+"""The unified snapshot surface over every telemetry source in a run.
+
+Before this hub existed the repo had three disjoint observability outputs:
+:class:`~repro.sim.metrics.MetricsCollector` (counters/gauges/series, only
+reachable from code), the env-gated :mod:`repro.perf` counters (their own
+``snapshot()``), and ad-hoc ``summary()`` dicts on individual subsystems.
+:class:`TelemetryHub` registers any number of collectors plus an optional
+tracer and renders them as **one** JSON-serialisable snapshot, which is
+what ``repro-worksite run --metrics-json`` writes and what tests assert
+against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.perf import counters as perf
+from repro.sim.metrics import MetricsCollector
+from repro.telemetry.schema import SCHEMA_VERSION
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.tracer import Tracer
+
+
+class TelemetryHub:
+    """Registry unifying metrics collectors, perf counters and a tracer."""
+
+    def __init__(self) -> None:
+        self._collectors: Dict[str, MetricsCollector] = {}
+        self._tracer: Optional["Tracer"] = None
+
+    # -- registration -------------------------------------------------------
+    def register_collector(self, name: str, collector: MetricsCollector) -> None:
+        """Expose ``collector`` under ``name`` in every snapshot."""
+        if name in self._collectors:
+            raise ValueError(f"duplicate collector name {name!r}")
+        self._collectors[name] = collector
+
+    def collector(self, name: str) -> MetricsCollector:
+        return self._collectors[name]
+
+    def set_tracer(self, tracer: Optional["Tracer"]) -> None:
+        self._tracer = tracer
+
+    # -- snapshot -----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Everything every registered source knows, as one plain dict.
+
+        The ``perf`` section is present only while the perf counters are
+        enabled, mirroring their near-zero-overhead-when-off contract; the
+        ``trace`` section is present only when a tracer is registered.
+        """
+        metrics: Dict[str, dict] = {}
+        for name in sorted(self._collectors):
+            collector = self._collectors[name]
+            metrics[name] = {
+                "counters": collector.counters,
+                "gauges": collector.gauges,
+                "series": {
+                    series: collector.summarize(series).as_dict()
+                    for series in collector.series_names()
+                },
+            }
+        snapshot = {"schema": SCHEMA_VERSION, "metrics": metrics}
+        if perf.enabled():
+            snapshot["perf"] = perf.snapshot()
+        if self._tracer is not None:
+            snapshot["trace"] = self._tracer.summary()
+        return snapshot
+
+    def export_json(self, path: os.PathLike) -> Path:
+        """Write the snapshot as indented JSON; returns the written path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target

@@ -1,0 +1,114 @@
+"""Versioned trace-record schema and the drop-cause taxonomy.
+
+Every line of a trace file is one JSON object with four common fields —
+``v`` (schema version), ``i`` (monotonic record index), ``t`` (simulated
+time, seconds) and ``type`` (one of :data:`RECORD_TYPES`) — plus the
+type-specific fields listed here.  :func:`validate_record` checks one
+parsed record against the schema and returns the list of problems (empty
+when valid), which is what the CI telemetry-smoke job and the ``trace
+--check`` CLI flag run over every emitted line.
+
+The schema is intentionally flat and additive: new optional fields may be
+added under the same version; removing or renaming a required field bumps
+:data:`SCHEMA_VERSION`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+#: bumped when a required field is removed or renamed
+SCHEMA_VERSION = 1
+
+#: fields every record carries
+COMMON_FIELDS = ("v", "i", "t", "type")
+
+#: why a frame or record never reached its consumer
+DROP_CAUSES: FrozenSet[str] = frozenset({
+    # medium verdicts (PHY)
+    "dst_unknown",          # destination endpoint not registered
+    "dst_unpowered",        # destination radio powered off
+    "link_budget",          # SNR draw failed (range, canopy, interference)
+    # link layer
+    "unassociated_tx",      # sender not associated, frame never aired
+    "unassociated_rx",      # receiver not associated, frame discarded
+    "duplicate",            # link-level duplicate suppression
+    # record layer
+    "decode_error",         # wire record failed to parse
+    "no_channel",           # protected record but no channel established
+    "record_rejected",      # secure channel rejected (tamper/replay/profile)
+    "message_decode_error",  # opened fine, application decode failed
+})
+
+#: required type-specific fields per record type
+RECORD_TYPES: Dict[str, FrozenSet[str]] = {
+    "trace.meta": frozenset({"schema"}),
+    # frame lifecycle: seal -> tx -> medium verdict -> rx/drop
+    "record.seal": frozenset({"node", "peer", "profile", "seq", "bytes"}),
+    "frame.tx": frozenset({"src", "dst", "frame_type", "seq", "bytes", "channel"}),
+    "frame.delivered": frozenset({"src", "dst", "seq", "snr_db", "delay_s"}),
+    "frame.drop": frozenset({"src", "dst", "seq", "cause"}),
+    "frame.rx": frozenset({"node", "src", "seq", "frame_type"}),
+    "record.open": frozenset({"node", "peer", "seq", "msg_type"}),
+    "record.drop": frozenset({"node", "peer", "cause"}),
+    "link.deauth": frozenset({"node", "src", "accepted"}),
+    # attack windows (IDS ground truth)
+    "attack.start": frozenset({"attack", "attack_type"}),
+    "attack.stop": frozenset({"attack", "attack_type", "duration_s"}),
+    # detections
+    "ids.alert": frozenset({"detector", "alert_type", "confidence", "in_window"}),
+    # safety layer
+    "safety.intervention": frozenset({"machine", "action"}),
+    "safety.violation": frozenset({"machine", "person", "separation_m"}),
+    "safety.near_miss": frozenset({"machine", "person", "separation_m"}),
+    # mission progress
+    "mission.phase": frozenset({"machine", "phase", "prev"}),
+}
+
+#: record types whose ``cause`` field must come from :data:`DROP_CAUSES`
+_CAUSE_TYPES = ("frame.drop", "record.drop")
+
+
+def validate_record(record: object) -> List[str]:
+    """Problems with one parsed trace record; empty list means valid."""
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, expected object"]
+    problems: List[str] = []
+    for name in COMMON_FIELDS:
+        if name not in record:
+            problems.append(f"missing common field {name!r}")
+    version = record.get("v")
+    if version is not None and version != SCHEMA_VERSION:
+        problems.append(f"schema version {version!r} != {SCHEMA_VERSION}")
+    if "t" in record and not isinstance(record["t"], (int, float)):
+        problems.append(f"t is {type(record['t']).__name__}, expected number")
+    rtype = record.get("type")
+    if rtype is None:
+        return problems
+    required = RECORD_TYPES.get(rtype)
+    if required is None:
+        problems.append(f"unknown record type {rtype!r}")
+        return problems
+    for name in sorted(required):
+        if name not in record:
+            problems.append(f"{rtype}: missing field {name!r}")
+    if rtype in _CAUSE_TYPES:
+        cause = record.get("cause")
+        if cause is not None and cause not in DROP_CAUSES:
+            problems.append(f"{rtype}: unknown drop cause {cause!r}")
+    return problems
+
+
+def validate_trace(records) -> List[str]:
+    """Validate an iterable of records; problems are prefixed by index."""
+    problems: List[str] = []
+    count = 0
+    for idx, record in enumerate(records):
+        count += 1
+        for problem in validate_record(record):
+            problems.append(f"record {idx}: {problem}")
+        if idx == 0 and isinstance(record, dict) and record.get("type") != "trace.meta":
+            problems.append("record 0: trace must start with a trace.meta record")
+    if count == 0:
+        problems.append("trace is empty")
+    return problems

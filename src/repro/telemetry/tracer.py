@@ -1,0 +1,320 @@
+"""The structured tracer and its process-global installation point.
+
+Design constraints (shared with :mod:`repro.perf.counters`):
+
+* **near-zero overhead when off** — instrumented sites guard with a single
+  module-attribute check (``if tracer.ACTIVE:``); with no tracer installed
+  a traced hot path costs exactly one attribute load more than before;
+* **deterministic** — the tracer observes the simulation and never feeds
+  back into it: no RNG draws, no scheduled events, no wall-clock reads.
+  Records are stamped with simulated time only, so the same scenario and
+  seed yield a byte-identical record stream;
+* **process-local** — one tracer is installed at a time (sweep workers in
+  other processes install their own); :func:`installed` scopes an
+  installation with guaranteed teardown.
+
+Instrumented sites call typed emit methods (``frame_tx``, ``ids_alert``,
+``safety_intervention``, ...) rather than passing free-form dicts, which is
+what keeps every record schema-valid by construction.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.telemetry.schema import SCHEMA_VERSION
+from repro.telemetry.writer import TraceWriter
+
+#: instrumented sites guard on this module attribute; flipped by install()
+ACTIVE: bool = False
+
+#: the installed tracer (only read under an ``ACTIVE`` guard)
+TRACER: Optional["Tracer"] = None
+
+
+def env_enabled() -> bool:
+    """Whether ``REPRO_TRACE=1`` asks for tracing (sweep workers honour it)."""
+    return os.environ.get("REPRO_TRACE", "") not in ("", "0")
+
+
+def install(tracer: "Tracer") -> None:
+    """Make ``tracer`` the process-global tracer and arm the guards."""
+    global ACTIVE, TRACER
+    TRACER = tracer
+    ACTIVE = True
+
+
+def uninstall() -> None:
+    """Disarm the guards and forget the installed tracer."""
+    global ACTIVE, TRACER
+    ACTIVE = False
+    TRACER = None
+
+
+@contextmanager
+def installed(tracer: "Tracer") -> Iterator["Tracer"]:
+    """Install ``tracer`` for the duration of the block, then uninstall."""
+    install(tracer)
+    try:
+        yield tracer
+    finally:
+        uninstall()
+
+
+class _Window:
+    """One attack window being tracked for latency attribution."""
+
+    __slots__ = ("name", "attack_type", "start", "end")
+
+    def __init__(self, name: str, attack_type: str, start: float) -> None:
+        self.name = name
+        self.attack_type = attack_type
+        self.start = start
+        self.end: Optional[float] = None
+
+
+class Tracer:
+    """Emit typed, sim-time-stamped trace records for one run.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose clock stamps every record.
+    writer:
+        Optional :class:`~repro.telemetry.writer.TraceWriter`; records are
+        streamed to it as they are emitted.
+    keep_records:
+        Keep every record in :attr:`records` (in-memory analysis).  Summary
+        counters are maintained incrementally either way.
+    """
+
+    #: alerts this long after a window closes still count as detections
+    #: (matches :meth:`repro.defense.ids.manager.IdsManager.score`)
+    GRACE_S = 30.0
+
+    def __init__(
+        self,
+        sim,
+        writer: Optional[TraceWriter] = None,
+        *,
+        keep_records: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.writer = writer
+        self.keep_records = keep_records
+        self.records: List[dict] = []
+        self._index = 0
+        self._windows: List[_Window] = []
+        # incremental summary state
+        self._by_type: Dict[str, int] = {}
+        self._drop_causes: Dict[str, int] = {}
+        self._links: Dict[str, Dict[str, int]] = {}
+        self._latencies: List[float] = []
+        self._alerts_in_window = 0
+
+    # -- core ---------------------------------------------------------------
+    def _emit(self, rtype: str, **fields) -> None:
+        record = {
+            "v": SCHEMA_VERSION,
+            "i": self._index,
+            "t": round(self.sim.now, 6),
+            "type": rtype,
+        }
+        record.update(fields)
+        self._index += 1
+        self._by_type[rtype] = self._by_type.get(rtype, 0) + 1
+        if self.keep_records:
+            self.records.append(record)
+        if self.writer is not None:
+            self.writer.write(record)
+
+    def close(self) -> None:
+        """Flush and close the attached writer (if any)."""
+        if self.writer is not None:
+            self.writer.close()
+
+    # -- header -------------------------------------------------------------
+    def meta(self, **fields) -> None:
+        """Emit the header record (seed, profile, horizon, campaign, ...)."""
+        self._emit("trace.meta", schema=SCHEMA_VERSION, **fields)
+
+    # -- frame lifecycle ------------------------------------------------------
+    def record_seal(
+        self, node: str, peer: str, profile: str, seq: int, n_bytes: int
+    ) -> None:
+        self._emit(
+            "record.seal", node=node, peer=peer, profile=profile,
+            seq=seq, bytes=n_bytes,
+        )
+
+    def frame_tx(self, frame, n_bytes: int, channel: int) -> None:
+        link = self._links.setdefault(
+            f"{frame.src}->{frame.dst}",
+            {"tx": 0, "delivered": 0, "dropped": 0},
+        )
+        link["tx"] += 1
+        self._emit(
+            "frame.tx", src=frame.src, dst=frame.dst,
+            frame_type=frame.frame_type.value, seq=frame.seq,
+            bytes=n_bytes, channel=channel,
+        )
+
+    def frame_delivered(self, frame, snr_db: float, delay_s: float) -> None:
+        link = self._links.get(f"{frame.src}->{frame.dst}")
+        if link is not None:
+            link["delivered"] += 1
+        self._emit(
+            "frame.delivered", src=frame.src, dst=frame.dst, seq=frame.seq,
+            snr_db=round(snr_db, 1), delay_s=round(delay_s, 6),
+        )
+
+    def frame_drop(
+        self, src: str, dst: str, seq: int, cause: str, **extra
+    ) -> None:
+        link = self._links.setdefault(
+            f"{src}->{dst}", {"tx": 0, "delivered": 0, "dropped": 0}
+        )
+        link["dropped"] += 1
+        self._drop_causes[cause] = self._drop_causes.get(cause, 0) + 1
+        self._emit("frame.drop", src=src, dst=dst, seq=seq, cause=cause, **extra)
+
+    def frame_rx(self, node: str, src: str, seq: int, frame_type: str) -> None:
+        self._emit("frame.rx", node=node, src=src, seq=seq, frame_type=frame_type)
+
+    def record_open(self, node: str, peer: str, seq: int, msg_type: str) -> None:
+        self._emit("record.open", node=node, peer=peer, seq=seq, msg_type=msg_type)
+
+    def record_drop(self, node: str, peer: str, cause: str, **extra) -> None:
+        self._drop_causes[cause] = self._drop_causes.get(cause, 0) + 1
+        self._emit("record.drop", node=node, peer=peer, cause=cause, **extra)
+
+    def link_deauth(self, node: str, src: str, accepted: bool) -> None:
+        self._emit("link.deauth", node=node, src=src, accepted=accepted)
+
+    # -- attack windows -------------------------------------------------------
+    def attack_started(self, name: str, attack_type: str) -> None:
+        self._windows.append(_Window(name, attack_type, self.sim.now))
+        self._emit("attack.start", attack=name, attack_type=attack_type)
+
+    def attack_stopped(self, name: str, attack_type: str) -> None:
+        duration = 0.0
+        for window in reversed(self._windows):
+            if window.name == name and window.end is None:
+                window.end = self.sim.now
+                duration = window.end - window.start
+                break
+        self._emit(
+            "attack.stop", attack=name, attack_type=attack_type,
+            duration_s=round(duration, 6),
+        )
+
+    def _containing_window(self, now: float) -> Optional[_Window]:
+        """The most recently started window containing ``now`` (with grace)."""
+        best: Optional[_Window] = None
+        for window in self._windows:
+            if now < window.start:
+                continue
+            if window.end is not None and now > window.end + self.GRACE_S:
+                continue
+            if best is None or window.start > best.start:
+                best = window
+        return best
+
+    # -- detections -----------------------------------------------------------
+    def ids_alert(self, detector: str, alert_type: str, confidence: float) -> None:
+        now = self.sim.now
+        window = self._containing_window(now)
+        fields = {
+            "detector": detector,
+            "alert_type": alert_type,
+            "confidence": round(confidence, 3),
+            "in_window": window is not None,
+        }
+        if window is not None:
+            latency = now - window.start
+            self._latencies.append(latency)
+            self._alerts_in_window += 1
+            fields["latency_s"] = round(latency, 6)
+            fields["window"] = window.attack_type
+        self._emit("ids.alert", **fields)
+
+    # -- safety ---------------------------------------------------------------
+    def safety_intervention(self, machine: str, action: str, **extra) -> None:
+        self._emit("safety.intervention", machine=machine, action=action, **extra)
+
+    def safety_violation(self, machine: str, person: str, separation_m: float) -> None:
+        self._emit(
+            "safety.violation", machine=machine, person=person,
+            separation_m=round(separation_m, 2),
+        )
+
+    def safety_near_miss(self, machine: str, person: str, separation_m: float) -> None:
+        self._emit(
+            "safety.near_miss", machine=machine, person=person,
+            separation_m=round(separation_m, 2),
+        )
+
+    # -- mission --------------------------------------------------------------
+    def mission_phase(self, machine: str, phase: str, prev: str) -> None:
+        self._emit("mission.phase", machine=machine, phase=phase, prev=prev)
+
+    # -- summary --------------------------------------------------------------
+    @property
+    def record_count(self) -> int:
+        return self._index
+
+    def detection_latencies(self) -> List[float]:
+        return list(self._latencies)
+
+    def summary(self) -> dict:
+        """Compact, JSON-serialisable digest of the trace.
+
+        This is what sweep workers fold into their result records: it is a
+        pure function of the record stream, so it inherits the determinism
+        contract of the run itself.
+        """
+        from repro.sim.metrics import SeriesSummary
+
+        alerts = self._by_type.get("ids.alert", 0)
+        latency = SeriesSummary.of(self._latencies)
+        return {
+            "schema": SCHEMA_VERSION,
+            "records": self._index,
+            "by_type": dict(sorted(self._by_type.items())),
+            "frames": {
+                "tx": self._by_type.get("frame.tx", 0),
+                "delivered": self._by_type.get("frame.delivered", 0),
+                "dropped": self._by_type.get("frame.drop", 0),
+                "drop_causes": dict(sorted(self._drop_causes.items())),
+            },
+            "secure_records": {
+                "sealed": self._by_type.get("record.seal", 0),
+                "opened": self._by_type.get("record.open", 0),
+                "dropped": self._by_type.get("record.drop", 0),
+            },
+            "links": {
+                name: dict(stats)
+                for name, stats in sorted(self._links.items())
+            },
+            "detection": {
+                "alerts": alerts,
+                "in_window": self._alerts_in_window,
+                "false_alarms": alerts - self._alerts_in_window,
+                "latency_p50_s": (
+                    round(latency.p50, 6) if latency.count else None
+                ),
+                "latency_p95_s": (
+                    round(latency.p95, 6) if latency.count else None
+                ),
+            },
+            "attacks": {
+                "windows": len(self._windows),
+            },
+            "safety": {
+                "interventions": self._by_type.get("safety.intervention", 0),
+                "violations": self._by_type.get("safety.violation", 0),
+                "near_misses": self._by_type.get("safety.near_miss", 0),
+            },
+        }

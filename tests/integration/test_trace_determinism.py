@@ -1,0 +1,77 @@
+"""Tracing determinism and non-interference.
+
+The telemetry contract: records are stamped with simulated time only and
+the tracer never feeds back into the simulation, so (a) two runs of the
+same scenario and seed write byte-identical trace files, and (b) a traced
+run ends in exactly the same state as an untraced one.
+"""
+
+import pytest
+
+from repro.scenarios.campaigns import build_campaign
+from repro.scenarios.worksite import ScenarioConfig, build_worksite
+from repro.telemetry import TraceWriter, Tracer, installed, read_trace
+from repro.telemetry.schema import validate_trace
+
+HORIZON_S = 90.0
+
+
+def _traced_run(path, seed=11):
+    scenario = build_worksite(ScenarioConfig(seed=seed))
+    tracer = Tracer(scenario.sim, TraceWriter(path))
+    tracer.meta(seed=seed, horizon_s=HORIZON_S, campaign="rf_jamming")
+    campaign = build_campaign(
+        "rf_jamming", scenario, start=20.0, duration=40.0
+    )
+    campaign.arm()
+    with installed(tracer):
+        scenario.run(HORIZON_S)
+    tracer.close()
+    return scenario
+
+
+class TestTraceDeterminism:
+    def test_same_seed_byte_identical_trace(self, tmp_path):
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        _traced_run(first)
+        _traced_run(second)
+        a, b = first.read_bytes(), second.read_bytes()
+        assert len(a) > 0
+        assert a == b
+
+    def test_different_seed_different_trace(self, tmp_path):
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        _traced_run(first, seed=11)
+        _traced_run(second, seed=12)
+        assert first.read_bytes() != second.read_bytes()
+
+    def test_real_trace_is_schema_valid(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _traced_run(path)
+        records = read_trace(path)
+        assert validate_trace(records) == []
+        assert records[0]["type"] == "trace.meta"
+        # the attack window and its frame traffic made it into the trace
+        types = {r["type"] for r in records}
+        assert "attack.start" in types
+        assert "frame.tx" in types
+
+    def test_tracing_does_not_perturb_the_run(self, tmp_path):
+        untraced = build_worksite(ScenarioConfig(seed=11))
+        campaign = build_campaign(
+            "rf_jamming", untraced, start=20.0, duration=40.0
+        )
+        campaign.arm()
+        untraced.run(HORIZON_S)
+
+        traced = _traced_run(tmp_path / "trace.jsonl")
+        assert traced.summary() == untraced.summary()
+
+    def test_sim_time_is_monotonic_in_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _traced_run(path)
+        records = read_trace(path)
+        times = [r["t"] for r in records]
+        assert times == sorted(times)

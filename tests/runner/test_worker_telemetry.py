@@ -1,0 +1,93 @@
+"""Worker-side telemetry and perf folding into sweep records."""
+
+from repro.perf import counters as perf
+from repro.runner import RunSpec
+from repro.runner.aggregate import summarize_group
+from repro.runner.worker import execute_run
+from repro.telemetry import tracer as trace
+
+TINY = {
+    "width": 160.0, "height": 160.0, "tree_density": 0.01,
+    "n_workers": 1, "drone_enabled": False,
+}
+
+
+def tiny_spec(campaign="rf_jamming", seed=1):
+    return RunSpec.single(
+        campaign, seed=seed, horizon_s=90.0,
+        start=20.0, duration=40.0, overrides=TINY,
+    )
+
+
+class TestTelemetryFolding:
+    def test_no_telemetry_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        record = execute_run(tiny_spec())
+        assert record["status"] == "ok"
+        assert "telemetry" not in record["result"]
+
+    def test_env_enabled_folds_summary_into_result(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        record = execute_run(tiny_spec())
+        assert record["status"] == "ok"
+        telemetry = record["result"]["telemetry"]
+        assert telemetry["records"] > 0
+        assert telemetry["frames"]["tx"] > 0
+        assert telemetry["attacks"]["windows"] == 1
+        # the worker uninstalled its tracer on the way out
+        assert trace.ACTIVE is False
+        assert trace.TRACER is None
+
+    def test_telemetry_summary_is_deterministic(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        a = execute_run(tiny_spec())["result"]["telemetry"]
+        b = execute_run(tiny_spec())["result"]["telemetry"]
+        assert a == b
+
+    def test_tracer_uninstalled_after_failure(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        bad = RunSpec.single(
+            "rf_jamming", seed=1, horizon_s=90.0,
+            overrides={"no_such_knob": 1.0},
+        )
+        record = execute_run(bad)
+        assert record["status"] == "failed"
+        assert trace.ACTIVE is False
+
+
+class TestPerfFolding:
+    def test_perf_snapshot_rides_outside_result(self):
+        perf.enable(True)
+        try:
+            record = execute_run(tiny_spec())
+        finally:
+            perf.enable(False)
+            perf.reset()
+        assert record["status"] == "ok"
+        assert "perf" not in record["result"]
+        assert record["perf"]["counters"]["medium.frames_tx"] > 0
+
+    def test_no_perf_section_when_disabled(self):
+        record = execute_run(tiny_spec())
+        assert "perf" not in record
+
+
+class TestAggregateDigest:
+    def test_summarize_group_includes_telemetry_and_perf(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        perf.enable(True)
+        try:
+            records = [execute_run(tiny_spec(seed=s)) for s in (1, 2)]
+        finally:
+            perf.enable(False)
+            perf.reset()
+        summary = summarize_group(records)
+        assert summary["runs"] == 2
+        assert summary["telemetry"]["trace_records"] > 0
+        assert summary["perf"]["counters"]["medium.frames_tx"] > 0
+
+    def test_summarize_group_without_extras(self):
+        records = [execute_run(tiny_spec())]
+        summary = summarize_group(records)
+        assert "telemetry" not in summary
+        assert "perf" not in summary

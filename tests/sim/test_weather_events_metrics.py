@@ -154,3 +154,51 @@ class TestMetrics:
         assert a.counter("x") == 3
         assert a.series_values("s") == [5.0]
         assert a.gauge("g") == 9.0
+
+    def test_merge_gauges_last_writer_wins(self):
+        a, b = MetricsCollector(), MetricsCollector()
+        a.set_gauge("g", 1.0)
+        a.set_gauge("only_a", 7.0)
+        b.set_gauge("g", 2.0)
+        a.merge(b)
+        assert a.gauge("g") == 2.0
+        assert a.gauge("only_a") == 7.0
+
+    def test_merge_series_concatenation_order(self):
+        a, b = MetricsCollector(), MetricsCollector()
+        a.sample("s", 0.0, 1.0)
+        a.sample("s", 1.0, 2.0)
+        b.sample("s", 0.5, 3.0)
+        a.merge(b)
+        # other's points append after self's, in their original order
+        assert a.series("s") == [(0.0, 1.0), (1.0, 2.0), (0.5, 3.0)]
+
+    def test_empty_summary_percentiles(self):
+        summary = SeriesSummary.of([])
+        assert (summary.p50, summary.p95) == (0.0, 0.0)
+        assert summary.as_dict()["count"] == 0
+
+    def test_percentiles(self):
+        values = [float(v) for v in range(1, 101)]
+        summary = SeriesSummary.of(values)
+        assert summary.p50 == 50.5
+        assert abs(summary.p95 - 95.05) < 1e-9
+        assert SeriesSummary.of([4.0]).p95 == 4.0
+
+    def test_percentiles_interpolate(self):
+        summary = SeriesSummary.of([1.0, 2.0, 10.0])
+        assert summary.p50 == 2.0
+        # rank 0.95 * 2 = 1.9 -> between 2.0 and 10.0
+        assert abs(summary.p95 - (2.0 + 0.9 * 8.0)) < 1e-9
+
+    def test_gauges_property_is_a_copy(self):
+        metrics = MetricsCollector()
+        metrics.set_gauge("g", 1.0)
+        metrics.gauges["g"] = 5.0
+        assert metrics.gauge("g") == 1.0
+
+    def test_series_names_sorted(self):
+        metrics = MetricsCollector()
+        metrics.sample("b", 0.0, 1.0)
+        metrics.sample("a", 0.0, 1.0)
+        assert metrics.series_names() == ["a", "b"]

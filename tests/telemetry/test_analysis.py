@@ -1,0 +1,106 @@
+"""Trace analysis reports: link breakdown, latency, timeline."""
+
+from repro.telemetry.analysis import (
+    detection_latencies,
+    full_report,
+    latency_report,
+    link_breakdown,
+    link_report,
+    timeline_report,
+)
+from repro.telemetry.schema import SCHEMA_VERSION
+
+
+def _r(i, t, rtype, **fields):
+    base = {"v": SCHEMA_VERSION, "i": i, "t": t, "type": rtype}
+    base.update(fields)
+    return base
+
+
+def sample_trace():
+    return [
+        _r(0, 0.0, "trace.meta", schema=SCHEMA_VERSION),
+        _r(1, 1.0, "frame.tx", src="a", dst="b", frame_type="data",
+           seq=1, bytes=64, channel=6),
+        _r(2, 1.0, "frame.delivered", src="a", dst="b", seq=1,
+           snr_db=12.0, delay_s=0.01),
+        _r(3, 2.0, "frame.tx", src="a", dst="b", frame_type="data",
+           seq=2, bytes=64, channel=6),
+        _r(4, 2.0, "frame.drop", src="a", dst="b", seq=2, cause="link_budget"),
+        _r(5, 3.0, "record.drop", node="b", peer="a", cause="record_rejected"),
+        _r(6, 10.0, "attack.start", attack="jam", attack_type="rf_jamming"),
+        _r(7, 14.0, "ids.alert", detector="sig-ids", alert_type="rf_jamming",
+           confidence=0.9, in_window=True, latency_s=4.0, window="rf_jamming"),
+        _r(8, 40.0, "attack.stop", attack="jam", attack_type="rf_jamming",
+           duration_s=30.0),
+        _r(9, 50.0, "safety.intervention", machine="fwd", action="safe_stop",
+           reason="person_detected"),
+        _r(10, 60.0, "link.deauth", node="fwd", src="mallory", accepted=False),
+        _r(11, 70.0, "safety.near_miss", machine="fwd", person="worker-1",
+           separation_m=7.5),
+        _r(12, 200.0, "ids.alert", detector="anom-ids", alert_type="anomaly",
+           confidence=0.4, in_window=False),
+    ]
+
+
+class TestLinkBreakdown:
+    def test_counts_per_link(self):
+        links = link_breakdown(sample_trace())
+        assert links["a->b"]["tx"] == 2
+        assert links["a->b"]["delivered"] == 1
+        # frame drop plus the record-layer rejection on the same direction
+        assert links["a->b"]["dropped"] == 2
+        assert links["a->b"]["causes"] == {
+            "link_budget": 1, "record_rejected": 1,
+        }
+
+    def test_report_renders_every_link(self):
+        text = link_report(sample_trace())
+        assert "a->b" in text
+        assert "link_budget" in text
+
+
+class TestLatencyReport:
+    def test_latencies_extracted_in_order(self):
+        assert detection_latencies(sample_trace()) == [4.0]
+
+    def test_report_counts(self):
+        text = latency_report(sample_trace())
+        assert "alerts:          2" in text
+        assert "in attack window: 1" in text
+        assert "false alarms:    1" in text
+        assert "p50" in text
+
+    def test_no_alerts(self):
+        text = latency_report([sample_trace()[0]])
+        assert "no in-window alerts" in text
+
+
+class TestTimeline:
+    def test_events_in_order_with_tags(self):
+        text = timeline_report(sample_trace())
+        lines = [l for l in text.splitlines() if " s  " in l]
+        assert "ATTACK" in lines[0] and "started" in lines[0]
+        assert "IDS" in lines[1]
+        assert "stopped" in lines[2]
+        assert "SAFETY" in lines[3]
+        assert "de-auth" in lines[4] and "rejected" in lines[4]
+        assert "near miss" in lines[5]
+        assert "false alarm" in lines[6]
+
+    def test_truncation_note(self):
+        alert = sample_trace()[7]
+        many = [dict(alert, i=i) for i in range(100)]
+        text = timeline_report(many, limit=10)
+        assert "... 90 more events" in text
+
+    def test_empty_timeline(self):
+        text = timeline_report([sample_trace()[0]])
+        assert "no attack" in text
+
+
+def test_full_report_concatenates_all_three():
+    text = full_report(sample_trace())
+    assert "per-link delivery" in text
+    assert "detection latency" in text
+    assert "attack-vs-defense timeline" in text

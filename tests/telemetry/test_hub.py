@@ -1,0 +1,84 @@
+"""TelemetryHub: registration, unified snapshot, JSON export."""
+
+import json
+
+import pytest
+
+from repro.perf import counters as perf
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsCollector
+from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.schema import SCHEMA_VERSION
+from repro.telemetry.tracer import Tracer
+
+
+@pytest.fixture
+def collector():
+    c = MetricsCollector()
+    c.increment("frames", 10)
+    c.set_gauge("ratio", 0.9)
+    c.sample("speed", 0.0, 1.0)
+    c.sample("speed", 1.0, 3.0)
+    return c
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self, collector):
+        hub = TelemetryHub()
+        hub.register_collector("a", collector)
+        with pytest.raises(ValueError):
+            hub.register_collector("a", MetricsCollector())
+
+    def test_collector_lookup(self, collector):
+        hub = TelemetryHub()
+        hub.register_collector("a", collector)
+        assert hub.collector("a") is collector
+
+
+class TestSnapshot:
+    def test_metrics_section(self, collector):
+        hub = TelemetryHub()
+        hub.register_collector("worksite", collector)
+        snapshot = hub.snapshot()
+        assert snapshot["schema"] == SCHEMA_VERSION
+        section = snapshot["metrics"]["worksite"]
+        assert section["counters"] == {"frames": 10}
+        assert section["gauges"] == {"ratio": 0.9}
+        assert section["series"]["speed"]["count"] == 2
+        assert section["series"]["speed"]["p50"] == 2.0
+
+    def test_perf_section_only_when_enabled(self):
+        hub = TelemetryHub()
+        assert "perf" not in hub.snapshot()
+        perf.enable(True)
+        perf.reset()
+        try:
+            perf.incr("x")
+            assert hub.snapshot()["perf"]["counters"]["x"] == 1
+        finally:
+            perf.enable(False)
+
+    def test_trace_section_when_tracer_set(self):
+        hub = TelemetryHub()
+        assert "trace" not in hub.snapshot()
+        tracer = Tracer(Simulator())
+        tracer.meta(seed=1)
+        hub.set_tracer(tracer)
+        assert hub.snapshot()["trace"]["records"] == 1
+
+    def test_snapshot_is_json_serialisable(self, collector):
+        hub = TelemetryHub()
+        hub.register_collector("a", collector)
+        hub.set_tracer(Tracer(Simulator()))
+        json.dumps(hub.snapshot())
+
+
+class TestExport:
+    def test_export_creates_parents_and_round_trips(self, collector, tmp_path):
+        hub = TelemetryHub()
+        hub.register_collector("a", collector)
+        target = tmp_path / "deep" / "metrics.json"
+        written = hub.export_json(target)
+        assert written == target
+        loaded = json.loads(target.read_text())
+        assert loaded == hub.snapshot()

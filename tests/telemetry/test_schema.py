@@ -1,0 +1,100 @@
+"""Schema validation: record types, required fields, drop causes."""
+
+from repro.telemetry.schema import (
+    DROP_CAUSES,
+    RECORD_TYPES,
+    SCHEMA_VERSION,
+    validate_record,
+    validate_trace,
+)
+
+
+def _record(rtype, **fields):
+    base = {"v": SCHEMA_VERSION, "i": 0, "t": 0.0, "type": rtype}
+    base.update(fields)
+    return base
+
+
+class TestValidateRecord:
+    def test_valid_frame_tx(self):
+        record = _record(
+            "frame.tx", src="a", dst="b", frame_type="data", seq=1,
+            bytes=64, channel=6,
+        )
+        assert validate_record(record) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_record([1, 2]) != []
+
+    def test_missing_common_field(self):
+        record = _record("attack.start", attack="j", attack_type="rf_jamming")
+        del record["t"]
+        assert any("'t'" in p for p in validate_record(record))
+
+    def test_wrong_schema_version(self):
+        record = _record("attack.start", attack="j", attack_type="rf_jamming")
+        record["v"] = SCHEMA_VERSION + 1
+        assert any("version" in p for p in validate_record(record))
+
+    def test_unknown_type(self):
+        assert any(
+            "unknown record type" in p
+            for p in validate_record(_record("frame.bogus"))
+        )
+
+    def test_missing_required_field(self):
+        record = _record("frame.drop", src="a", dst="b", seq=1)  # no cause
+        assert any("missing field 'cause'" in p for p in validate_record(record))
+
+    def test_unknown_drop_cause(self):
+        record = _record("frame.drop", src="a", dst="b", seq=1, cause="gremlins")
+        assert any("unknown drop cause" in p for p in validate_record(record))
+
+    def test_every_known_cause_accepted(self):
+        for cause in DROP_CAUSES:
+            record = _record("frame.drop", src="a", dst="b", seq=1, cause=cause)
+            assert validate_record(record) == []
+
+    def test_extra_fields_are_allowed(self):
+        record = _record(
+            "ids.alert", detector="d", alert_type="x", confidence=0.5,
+            in_window=True, latency_s=1.0, window="rf_jamming",
+        )
+        assert validate_record(record) == []
+
+    def test_non_numeric_time(self):
+        record = _record("attack.start", attack="j", attack_type="rf_jamming")
+        record["t"] = "noon"
+        assert any("expected number" in p for p in validate_record(record))
+
+
+class TestValidateTrace:
+    def test_empty_trace_flagged(self):
+        assert validate_trace([]) == ["trace is empty"]
+
+    def test_first_record_must_be_meta(self):
+        records = [
+            _record("attack.start", attack="j", attack_type="rf_jamming")
+        ]
+        assert any("trace.meta" in p for p in validate_trace(records))
+
+    def test_problems_carry_record_index(self):
+        records = [
+            _record("trace.meta", schema=SCHEMA_VERSION),
+            _record("frame.bogus"),
+        ]
+        problems = validate_trace(records)
+        assert any(p.startswith("record 1:") for p in problems)
+
+    def test_valid_trace_passes(self):
+        records = [
+            _record("trace.meta", schema=SCHEMA_VERSION),
+            _record("mission.phase", machine="fwd", phase="loading", prev="idle"),
+        ]
+        assert validate_trace(records) == []
+
+
+def test_taxonomy_is_documented_superset_of_usage():
+    # every cause-bearing record type requires a `cause` field
+    assert "cause" in RECORD_TYPES["frame.drop"]
+    assert "cause" in RECORD_TYPES["record.drop"]

@@ -36,6 +36,23 @@ class TestParser:
         assert args.limit == 25
         assert not args.perf
 
+    def test_run_metrics_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--metrics-json", "out/m.json", "--metrics-interval", "2"]
+        )
+        assert args.metrics_json == "out/m.json"
+        assert args.metrics_interval == 2.0
+        assert build_parser().parse_args(["run"]).metrics_json is None
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.out == "out/trace.jsonl"
+        assert args.campaign is None
+        assert args.start == 120.0
+        assert not args.check
+        assert args.analyze is None
+        assert not args.no_report
+
 
 class TestCommands:
     def test_campaigns_lists_registry(self, capsys):
@@ -94,6 +111,75 @@ class TestCommands:
         assert "function calls" in out          # cProfile table
         assert "perf counters:" in out
         assert "medium.frames_tx" in out
+
+
+class TestTraceCommand:
+    def test_trace_records_checks_and_reports(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.jsonl")
+        assert main([
+            "trace", "--seed", "11", "--minutes", "2",
+            "--campaign", "rf_jamming", "--start", "20", "--duration", "60",
+            "--out", out, "--check",
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "records valid" in text
+        assert "per-link delivery" in text
+        assert "detection latency" in text
+        assert "attack-vs-defense timeline" in text
+
+    def test_trace_leaves_guards_uninstalled(self, tmp_path):
+        from repro.telemetry import tracer as trace
+
+        assert main([
+            "trace", "--seed", "3", "--minutes", "1",
+            "--out", str(tmp_path / "t.jsonl"), "--no-report",
+        ]) == 0
+        assert trace.ACTIVE is False
+        assert trace.TRACER is None
+
+    def test_trace_unknown_campaign(self, tmp_path, capsys):
+        assert main([
+            "trace", "--campaign", "zero_day",
+            "--out", str(tmp_path / "t.jsonl"),
+        ]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_trace_analyze_existing_file(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.jsonl")
+        assert main([
+            "trace", "--seed", "3", "--minutes", "1", "--out", out,
+            "--no-report",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--analyze", out, "--check"]) == 0
+        text = capsys.readouterr().out
+        assert "records valid" in text
+        assert "per-link delivery" in text
+
+    def test_trace_check_fails_on_corrupt_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"v":1,"i":0,"t":0.0,"type":"frame.bogus"}\n')
+        assert main(["trace", "--analyze", str(bad), "--check"]) == 1
+        assert "schema:" in capsys.readouterr().err
+
+
+class TestRunMetricsJson:
+    def test_run_writes_metrics_snapshot(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "metrics.json"
+        assert main([
+            "run", "--seed", "3", "--minutes", "2",
+            "--metrics-json", str(out), "--metrics-interval", "5",
+        ]) == 0
+        assert "metrics:" in capsys.readouterr().out
+        snapshot = json.loads(out.read_text())
+        worksite = snapshot["metrics"]["worksite"]
+        assert worksite["counters"]["comms.frames_sent"] > 0
+        assert "comms.delivery_ratio" in worksite["gauges"]
+        series = worksite["series"]["comms.delivery_ratio"]
+        assert series["count"] > 0
+        assert {"p50", "p95"} <= set(series)
 
 
 class TestSweepCommand:
