@@ -30,13 +30,17 @@ Examples::
 
     repro-worksite run --seed 7 --minutes 30
     repro-worksite run --minutes 10 --metrics-json out/metrics.json
+    repro-worksite run --minutes 5 --faults examples/faults_storm.toml
+    repro-worksite run --minutes 5 --fault-campaign crash_brownout
     repro-worksite attack gnss_spoofing --undefended
     repro-worksite assess --characteristics
     repro-worksite sac --out out/
     repro-worksite sweep --campaigns all --n-seeds 3 --jobs 4 --resume
     repro-worksite sweep --spec examples/sweep_grid.toml --jobs 8
+    repro-worksite sweep --fault-campaign crash_brownout --n-seeds 3
     repro-worksite profile --minutes 5 --sort tottime --perf
     repro-worksite trace --campaign rf_jamming --minutes 5 --check
+    repro-worksite trace --fault-campaign crash_brownout --minutes 2
     repro-worksite trace --analyze out/trace.jsonl
 """
 
@@ -68,6 +72,64 @@ def _scenario_config(args) -> "ScenarioConfig":
     )
 
 
+def _fault_schedule(args) -> Optional["FaultSchedule"]:
+    """The fault schedule requested by ``--faults`` / ``--fault-campaign``.
+
+    Returns ``None`` when neither flag was given, so fault-free invocations
+    never touch the fault machinery at all.
+    """
+    path = getattr(args, "faults", None)
+    campaign = getattr(args, "fault_campaign", None)
+    if path and campaign:
+        raise ValueError("--faults and --fault-campaign are mutually exclusive")
+    if path:
+        from repro.faults import load_fault_schedule
+
+        return load_fault_schedule(path)
+    if campaign:
+        from repro.faults import build_fault_campaign
+
+        return build_fault_campaign(
+            campaign,
+            start=getattr(args, "fault_start", 20.0),
+            duration=getattr(args, "fault_duration", 30.0),
+        )
+    return None
+
+
+def _arm_faults(args, scenario) -> Optional["FaultInjector"]:
+    """Arm the requested fault schedule against a composed scenario."""
+    schedule = _fault_schedule(args)
+    if schedule is None:
+        return None
+    from repro.faults import FaultInjector
+
+    return FaultInjector(scenario, schedule).arm()
+
+
+def _print_resilience(injector, horizon_s: float) -> None:
+    summary = injector.resilience_summary(horizon_s)
+    faults = summary["faults"]
+    print(f"faults:           {faults['injected']} injected, "
+          f"{faults['cleared']} cleared "
+          f"({faults['active_at_end']} active at end)")
+    modes = ", ".join(
+        f"{machine}={info['mode']}" for machine, info in summary["modes"].items()
+    )
+    print(f"final modes:      {modes}")
+    if summary["mttr_s"] is not None:
+        print(f"MTTR:             {summary['mttr_s']:.1f} s")
+    latency = summary["safe_stop_latency"]
+    if latency["count"]:
+        print(f"safe-stop:        p50 {latency['p50_s']:.1f} s, "
+              f"p95 {latency['p95_s']:.1f} s over {latency['count']}")
+    for service, value in summary["availability"].items():
+        print(f"availability:     {service:<28} {value:.4f}")
+    delivery = summary["delivery"]
+    print(f"delivery:         {delivery['retry_exhausted']} retry-exhausted, "
+          f"{delivery['rejoins']} channel rejoins")
+
+
 def _print_summary(scenario) -> None:
     summary = scenario.summary()
     safety = summary["safety"]
@@ -89,9 +151,16 @@ def cmd_run(args) -> int:
         config.metrics_interval_s = args.metrics_interval
     scenario = build_worksite(config)
     horizon = args.minutes * 60.0
+    try:
+        injector = _arm_faults(args, scenario)
+    except (ValueError, OSError) as exc:
+        print(f"fault schedule error: {exc}", file=sys.stderr)
+        return 2
     print(f"running worksite seed={args.seed} for {args.minutes} min ...")
     scenario.run(horizon)
     _print_summary(scenario)
+    if injector is not None:
+        _print_resilience(injector, horizon)
     if args.metrics_json:
         from repro.telemetry import TelemetryHub
 
@@ -147,7 +216,14 @@ def cmd_trace(args) -> int:
             **({"duration": args.duration} if args.duration else {}),
         )
         campaign.arm()
+    try:
+        injector = _arm_faults(args, scenario)
+    except (ValueError, OSError) as exc:
+        print(f"fault schedule error: {exc}", file=sys.stderr)
+        return 2
     target = "baseline" if not args.campaign else args.campaign
+    if injector is not None:
+        target += f" + {len(injector.schedule)} fault(s)"
     print(f"tracing {target!r} run seed={args.seed} "
           f"for {args.minutes} min -> {args.out}")
     with installed(tracer):
@@ -325,6 +401,19 @@ def _sweep_spec_from_args(args) -> "SweepSpec":
         spec.attack_start = args.start
     if args.duration is not None:
         spec.attack_duration = args.duration
+    if args.fault_campaign:
+        from repro.faults import FAULT_CAMPAIGNS
+
+        if args.fault_campaign not in FAULT_CAMPAIGNS:
+            raise ValueError(
+                f"unknown fault campaign {args.fault_campaign!r}; "
+                f"available: {', '.join(sorted(FAULT_CAMPAIGNS))}"
+            )
+        spec.fault_campaign = args.fault_campaign
+        if args.fault_start is not None:
+            spec.fault_start = args.fault_start
+        if args.fault_duration is not None:
+            spec.fault_duration = args.fault_duration
     return spec
 
 
@@ -419,8 +508,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="plaintext links, no IDS, no access control")
         p.add_argument("--no-drone", action="store_true")
 
+    def fault_flags(p):
+        p.add_argument("--faults", default=None, metavar="PATH",
+                       help="TOML/JSON fault schedule to inject")
+        p.add_argument("--fault-campaign", default=None,
+                       help="named fault campaign (see repro.faults)")
+        p.add_argument("--fault-start", type=float, default=20.0,
+                       help="fault campaign start time (s)")
+        p.add_argument("--fault-duration", type=float, default=30.0,
+                       help="fault campaign duration (s)")
+
     run_p = sub.add_parser("run", help="run the nominal worksite")
     common(run_p)
+    fault_flags(run_p)
     run_p.add_argument("--metrics-json", default=None, metavar="PATH",
                        help="write the unified telemetry snapshot (counters, "
                             "gauges, series summaries) as JSON")
@@ -489,6 +589,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="attack start time (s)")
     sweep_p.add_argument("--duration", type=float, default=None,
                          help="attack duration (s)")
+    sweep_p.add_argument("--fault-campaign", default=None,
+                         help="named fault campaign injected into every run")
+    sweep_p.add_argument("--fault-start", type=float, default=None,
+                         help="fault campaign start time (s)")
+    sweep_p.add_argument("--fault-duration", type=float, default=None,
+                         help="fault campaign duration (s)")
     sweep_p.add_argument("--jobs", type=int, default=1,
                          help="worker processes (1 = in-process)")
     sweep_p.add_argument("--out", default="out/sweep.jsonl",
@@ -520,6 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the run; report on an existing trace file")
     trace_p.add_argument("--no-report", action="store_true",
                          help="record only, skip the analysis reports")
+    fault_flags(trace_p)
     trace_p.set_defaults(func=cmd_trace)
     return parser
 

@@ -21,6 +21,44 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.comms.medium import WirelessMedium
 
 
+@dataclass
+class RetryPolicy:
+    """Hardened retransmission policy: bounded tries, exponential backoff
+    with deterministic RNG jitter, dead-peer detection.
+
+    ``None`` on an endpoint (the default) keeps the legacy fixed-timeout
+    behaviour byte-identical — installing a policy is what fault mode does.
+    The jitter ``rng`` must be a scenario-owned stream
+    (:meth:`repro.sim.rng.RngStreams.stream`), never module-level
+    ``random``, so retry timelines replay identically under the
+    process-pool sweep runner.
+    """
+
+    max_retries: int = 5
+    base_timeout_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_timeout_s: float = 1.6
+    jitter_s: float = 0.01
+    rng: Optional[object] = None
+    #: consecutive per-peer exhaustions before the peer is declared dead
+    dead_peer_threshold: int = 3
+
+    def delay(self, tries: int) -> float:
+        """Backoff before the ACK check for attempt number ``tries``."""
+        delay = min(
+            self.base_timeout_s * self.backoff_factor ** (tries - 1),
+            self.max_timeout_s,
+        )
+        if self.jitter_s > 0.0 and self.rng is not None:
+            delay += self.rng.uniform(0.0, self.jitter_s)
+        return delay
+
+    @classmethod
+    def hardened(cls, rng) -> "RetryPolicy":
+        """The fault-mode default, jittered from a scenario RNG stream."""
+        return cls(rng=rng)
+
+
 class FrameType(enum.Enum):
     """Link-layer frame types."""
 
@@ -99,6 +137,12 @@ class LinkEndpoint:
         self.deauths_received = 0
         self.deauths_rejected = 0
         self.frames_dropped_unassociated = 0
+        # hardened-delivery state (inert until a RetryPolicy is installed)
+        self.retry_policy: Optional[RetryPolicy] = None
+        self.retry_exhausted = 0
+        self.acks_flushed = 0
+        self.on_peer_dead: Optional[Callable[[str], None]] = None
+        self._peer_failures: Dict[str, int] = {}
         medium.register(self)
 
     # -- plumbing -----------------------------------------------------------
@@ -133,7 +177,9 @@ class LinkEndpoint:
         self._transmit(frame, payload)
         if reliable:
             self._pending_acks[frame.seq] = {"frame": frame, "payload": payload, "tries": 1}
-            self.sim.schedule(self.ACK_TIMEOUT_S, lambda s=frame.seq: self._check_ack(s))
+            policy = self.retry_policy
+            timeout = policy.delay(1) if policy is not None else self.ACK_TIMEOUT_S
+            self.sim.schedule(timeout, lambda s=frame.seq: self._check_ack(s))
         return frame.seq
 
     def send_deauth(self, dst: str, *, forged_by: Optional[str] = None) -> None:
@@ -157,16 +203,35 @@ class LinkEndpoint:
         entry = self._pending_acks.get(seq)
         if entry is None:
             return
-        if entry["tries"] > self.MAX_RETRIES:
+        policy = self.retry_policy
+        max_retries = policy.max_retries if policy is not None else self.MAX_RETRIES
+        if entry["tries"] > max_retries:
             del self._pending_acks[seq]
             self.log.emit(
                 self.sim.now, EventCategory.COMMS, "frame_abandoned", self.name, seq=seq
             )
+            if policy is not None:
+                self.retry_exhausted += 1
+                frame = entry["frame"]
+                if trace.ACTIVE:
+                    trace.TRACER.frame_drop(
+                        self.name, frame.dst, seq, "retry_exhausted"
+                    )
+                self._note_peer_failure(frame.dst)
             return
         entry["tries"] += 1
         if self.associated:
             self._transmit(entry["frame"], entry["payload"])
-        self.sim.schedule(self.ACK_TIMEOUT_S, lambda s=seq: self._check_ack(s))
+        timeout = policy.delay(entry["tries"]) if policy is not None else self.ACK_TIMEOUT_S
+        self.sim.schedule(timeout, lambda s=seq: self._check_ack(s))
+
+    def _note_peer_failure(self, peer: str) -> None:
+        count = self._peer_failures.get(peer, 0) + 1
+        self._peer_failures[peer] = count
+        threshold = self.retry_policy.dead_peer_threshold
+        # fire exactly once per silence episode; an ACK resets the count
+        if count == threshold and self.on_peer_dead is not None:
+            self.on_peer_dead(peer)
 
     # -- receiving ----------------------------------------------------------
     def receive_raw(self, frame: Frame, raw: bytes) -> None:
@@ -175,6 +240,8 @@ class LinkEndpoint:
             return
         if frame.frame_type is FrameType.ACK:
             self._pending_acks.pop(frame.seq, None)
+            if self._peer_failures:
+                self._peer_failures.pop(frame.src, None)
             return
         if frame.frame_type is FrameType.DEAUTH:
             self._handle_deauth(frame)
@@ -229,6 +296,11 @@ class LinkEndpoint:
                     trace.TRACER.link_deauth(self.name, frame.src, False)
                 return
         self.associated = False
+        # teardown flushes in-flight reliability state: a stale entry must
+        # not keep retrying (and eventually retransmit) after re-association
+        if self._pending_acks:
+            self.acks_flushed += len(self._pending_acks)
+            self._pending_acks.clear()
         self.log.emit(
             self.sim.now, EventCategory.COMMS, "deauthenticated", self.name, src=frame.src
         )
@@ -240,3 +312,20 @@ class LinkEndpoint:
         if self.powered and not self.associated:
             self.associated = True
             self.log.emit(self.sim.now, EventCategory.COMMS, "reassociated", self.name)
+
+    # -- power (fault injection) --------------------------------------------
+    def power_off(self) -> None:
+        """Node crash: stop radiating and flush reliability state."""
+        self.powered = False
+        if self._pending_acks:
+            self.acks_flushed += len(self._pending_acks)
+            self._pending_acks.clear()
+        if self._peer_failures:
+            self._peer_failures.clear()
+        self.log.emit(self.sim.now, EventCategory.COMMS, "powered_off", self.name)
+
+    def power_on(self) -> None:
+        """Restart after a crash; comes back up associated."""
+        self.powered = True
+        self.associated = True
+        self.log.emit(self.sim.now, EventCategory.COMMS, "powered_on", self.name)

@@ -11,6 +11,7 @@ attacks, below any cryptographic protection.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
@@ -117,6 +118,12 @@ class WirelessMedium:
         # airtime intervals (start, end) per channel for the sliding-window
         # utilisation metric, pruned against UTIL_RETENTION_S
         self._airtime_windows: Dict[int, Deque[Tuple[float, float]]] = {}
+        # fault-injection state: TX power sag per endpoint (dB) and an
+        # optional (probability, rng) corruption burst; both empty/None in
+        # nominal runs so the hot path stays byte-identical
+        self._power_sag: Dict[str, float] = {}
+        self._corruption: Optional[Tuple[float, object]] = None
+        self.frames_corrupted = 0
 
     # -- registration -------------------------------------------------------
     def register(self, endpoint: "LinkEndpoint") -> None:
@@ -141,6 +148,26 @@ class WirelessMedium:
     def add_eavesdropper(self, callback: Callable[["Frame", bytes], None]) -> None:
         """Register a passive observer of every transmitted frame."""
         self.eavesdroppers.append(callback)
+
+    # -- fault injection ------------------------------------------------------
+    def set_power_sag(self, endpoint_name: str, sag_db: float) -> None:
+        """Sag ``endpoint_name``'s effective TX power by ``sag_db`` dB
+        (radio brownout fault; the endpoint's own config is untouched)."""
+        self._power_sag[endpoint_name] = float(sag_db)
+
+    def clear_power_sag(self, endpoint_name: str) -> None:
+        """Remove an endpoint's TX power sag.  Idempotent."""
+        self._power_sag.pop(endpoint_name, None)
+
+    def set_corruption(self, probability: float, rng) -> None:
+        """Start a corruption burst: each otherwise-delivered frame is
+        corrupted in flight with ``probability``, drawn from ``rng`` (a
+        dedicated fault stream, so nominal delivery draws are unaffected)."""
+        self._corruption = (float(probability), rng)
+
+    def clear_corruption(self) -> None:
+        """End the corruption burst.  Idempotent."""
+        self._corruption = None
 
     # -- interference -------------------------------------------------------
     def interference_at(self, position: Vec2, channel: int, now: float) -> float:
@@ -210,6 +237,12 @@ class WirelessMedium:
         self.frames_sent += 1
         now = self.sim.now
         config = sender.radio
+        if self._power_sag:
+            sag = self._power_sag.get(sender.name)
+            if sag:
+                config = dataclasses.replace(
+                    config, tx_power_dbm=config.tx_power_dbm - sag
+                )
         if trace.ACTIVE:
             trace.TRACER.frame_tx(frame, len(raw), config.channel)
         air = airtime_s(len(raw), config.bitrate_bps)
@@ -256,6 +289,20 @@ class WirelessMedium:
                     snr_db=round(budget.snr_db, 1),
                 )
             return
+        if self._corruption is not None:
+            probability, rng = self._corruption
+            if rng.random() < probability:
+                self.frames_lost += 1
+                self.frames_corrupted += 1
+                self.log.emit(
+                    now, EventCategory.COMMS, "frame_corrupted", sender.name,
+                    dst=frame.dst,
+                )
+                if trace.ACTIVE:
+                    trace.TRACER.frame_drop(
+                        frame.src, frame.dst, frame.seq, "corrupted"
+                    )
+                return
         self.frames_delivered += 1
         delay = self.propagation_delay_s + air
         if trace.ACTIVE:

@@ -110,11 +110,12 @@ class CommNode:
     def send(self, message: Message, *, reliable: bool = True) -> None:
         """Protect (if a channel exists) and transmit ``message``."""
         self._seq += 1
+        # local_time == sim.now unless a clock-drift fault targets this node
         stamped = type(message)(
             sender=self.name,
             recipient=message.recipient,
             payload=message.payload,
-            timestamp=self.sim.now,
+            timestamp=self.sim.local_time(self.name),
             seq=self._seq,
         )
         raw = stamped.encode()
@@ -212,6 +213,7 @@ class Network:
         self.nodes: Dict[str, CommNode] = {}
         self._identities: Dict[str, Identity] = {}
         self.handshake_failures = 0
+        self.rejoins = 0
 
     def add_node(
         self,
@@ -269,6 +271,19 @@ class Network:
             raise
         self.nodes[a].attach_channel(b, chan_a)
         self.nodes[b].attach_channel(a, chan_b)
+
+    def reestablish(self, a: str, b: str) -> None:
+        """Rejoin protocol: re-run the ``a``↔``b`` handshake, replacing any
+        stale channels (record sequence state resets with the new keys).
+
+        Used by the recovery path of the degraded-mode machines after a
+        node restart or link death.
+        """
+        self.rejoins += 1
+        self.log.emit(
+            self.sim.now, EventCategory.COMMS, "channel_rejoin", a, peer=b
+        )
+        self.establish(a, b)
 
     def establish_all(self) -> None:
         """Establish channels between every node pair."""

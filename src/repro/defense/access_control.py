@@ -16,7 +16,6 @@ certificate's role set.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Set
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.events import EventCategory, EventLog
+from repro.telemetry import tracer as trace
 
 
 @dataclass(frozen=True)
@@ -87,10 +88,20 @@ class RecoveryPlan:
 class ContinuityManager:
     """Tracks outages against the plan and activates fallbacks."""
 
-    def __init__(self, plan: RecoveryPlan, sim: Simulator, log: EventLog) -> None:
+    def __init__(
+        self,
+        plan: RecoveryPlan,
+        sim: Simulator,
+        log: EventLog,
+        *,
+        scope: Optional[str] = None,
+    ) -> None:
         self.plan = plan
         self.sim = sim
         self.log = log
+        #: machine this manager accounts for (labels trace records when
+        #: several managers share one trace, e.g. forwarder + drone)
+        self.scope = scope
         self.outages: List[Outage] = []
         self._open: Dict[str, Outage] = {}
         self.fallback_activations = 0
@@ -112,6 +123,8 @@ class ContinuityManager:
             self.sim.now, EventCategory.SYSTEM, "service_down", service,
             cause=cause, fallback=fallback,
         )
+        if trace.ACTIVE:
+            trace.TRACER.service_down(service, cause, machine=self.scope)
         return fallback
 
     def service_up(self, service: str) -> None:
@@ -124,6 +137,10 @@ class ContinuityManager:
             self.sim.now, EventCategory.SYSTEM, "service_up", service,
             outage_s=round(outage.duration or 0.0, 1),
         )
+        if trace.ACTIVE:
+            trace.TRACER.service_up(
+                service, outage.duration or 0.0, machine=self.scope
+            )
 
     def close_all(self) -> None:
         """End-of-run: close any still-open outages at the current time."""

@@ -83,6 +83,32 @@ def summarize_group(records: Sequence[dict]) -> dict:
                 [float(t["safety"]["interventions"]) for t in telemetry]
             ),
         }
+    resilience = [r["resilience"] for r in ok if r.get("resilience")]
+    if resilience:
+        services = sorted(
+            {name for res in resilience for name in res["availability"]}
+        )
+        summary["resilience"] = {
+            "faults_injected": _mean(
+                [float(res["faults"]["injected"]) for res in resilience]
+            ),
+            "availability": {
+                name: _mean([
+                    res["availability"].get(name) for res in resilience
+                ])
+                for name in services
+            },
+            "mttr_s": _mean([res["mttr_s"] for res in resilience]),
+            "safe_stop_p95_s": _mean(
+                [res["safe_stop_latency"]["p95_s"] for res in resilience]
+            ),
+            "retry_exhausted": _mean([
+                float(res["delivery"]["retry_exhausted"]) for res in resilience
+            ]),
+            "rejoins": _mean(
+                [float(res["delivery"]["rejoins"]) for res in resilience]
+            ),
+        }
     perf_snaps = [
         r["perf"] for r in records
         if r.get("status") == "ok" and r.get("perf")

@@ -45,6 +45,20 @@ def _freeze_overrides(overrides: Optional[Mapping]) -> Tuple[Tuple[str, object],
     return tuple(sorted((str(k), v) for k, v in dict(overrides or {}).items()))
 
 
+def _freeze_faults(faults: Sequence) -> Tuple[tuple, ...]:
+    """Freeze ``FaultSpec.to_primitives`` items (lists after a JSON round
+    trip) back into hashable nested tuples."""
+    frozen = []
+    for item in faults or ():
+        kind, target, start, duration, params = item
+        frozen.append((
+            str(kind), str(target), float(start),
+            None if duration is None else float(duration),
+            tuple((str(k), v) for k, v in params),
+        ))
+    return tuple(frozen)
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One fully determined worksite run, in primitives only.
@@ -61,6 +75,8 @@ class RunSpec:
     plan: Tuple[PlanStep, ...] = ()
     ids_family: Optional[str] = None
     overrides: Tuple[Tuple[str, object], ...] = ()
+    #: fault timeline as FaultSpec.to_primitives() tuples (empty = no faults)
+    faults: Tuple[tuple, ...] = ()
 
     @classmethod
     def single(
@@ -74,6 +90,7 @@ class RunSpec:
         duration: Optional[float] = None,
         ids_family: Optional[str] = None,
         overrides: Optional[Mapping[str, object]] = None,
+        faults: Sequence = (),
     ) -> "RunSpec":
         """A run with one campaign (or the baseline when ``campaign`` is
         :data:`BASELINE` / empty)."""
@@ -89,6 +106,7 @@ class RunSpec:
             plan=plan,
             ids_family=ids_family,
             overrides=_freeze_overrides(overrides),
+            faults=_freeze_faults(faults),
         )
 
     @property
@@ -107,6 +125,8 @@ class RunSpec:
             parts.append(f"ids={self.ids_family}")
         if self.overrides:
             parts.append("+" + ",".join(k for k, _ in self.overrides))
+        if self.faults:
+            parts.append(f"faults={len(self.faults)}")
         return " ".join(parts)
 
     def to_dict(self) -> dict:
@@ -118,6 +138,10 @@ class RunSpec:
             "plan": [list(step) for step in self.plan],
             "ids_family": self.ids_family,
             "overrides": {k: v for k, v in self.overrides},
+            "faults": [
+                [kind, target, start, duration, [list(p) for p in params]]
+                for kind, target, start, duration, params in self.faults
+            ],
         }
 
     @classmethod
@@ -130,6 +154,7 @@ class RunSpec:
             plan=_freeze_plan(data.get("plan", ())),
             ids_family=data.get("ids_family"),
             overrides=_freeze_overrides(data.get("overrides")),
+            faults=_freeze_faults(data.get("faults", ())),
         )
 
 
@@ -166,15 +191,32 @@ class SweepSpec:
     attack_duration: Optional[float] = None
     variants: Dict[str, Dict[str, object]] = field(default_factory=dict)
     ids_families: List[Optional[str]] = field(default_factory=lambda: [None])
+    #: named fault campaign applied to every run (None = fault-free sweep)
+    fault_campaign: Optional[str] = None
+    fault_start: float = 20.0
+    fault_duration: float = 30.0
 
     def resolved_seeds(self) -> List[int]:
         if self.seeds:
             return [int(s) for s in self.seeds]
         return derive_sweep_seeds(self.base_seed, self.n_seeds)
 
+    def resolved_faults(self) -> Tuple[tuple, ...]:
+        """The fault timeline primitives every expanded run carries."""
+        if not self.fault_campaign:
+            return ()
+        from repro.faults.campaigns import build_fault_campaign
+
+        schedule = build_fault_campaign(
+            self.fault_campaign,
+            start=self.fault_start, duration=self.fault_duration,
+        )
+        return tuple(fault.to_primitives() for fault in schedule.faults)
+
     def expand(self) -> List[RunSpec]:
         """The concrete run list, in a stable deterministic order."""
         variants = self.variants or {"": {}}
+        faults = self.resolved_faults()
         specs: List[RunSpec] = []
         for campaign in self.campaigns:
             for profile in self.profiles:
@@ -190,6 +232,7 @@ class SweepSpec:
                                 duration=self.attack_duration,
                                 ids_family=ids_family,
                                 overrides=overrides,
+                                faults=faults,
                             )
                             if variant_name:
                                 spec = replace(
@@ -231,7 +274,8 @@ def sweep_spec_from_mapping(data: Mapping) -> SweepSpec:
     known = {
         "campaigns", "seeds", "base_seed", "n_seeds", "horizon_s",
         "horizon_minutes", "profiles", "attack_start", "attack_duration",
-        "variants", "ids_families",
+        "variants", "ids_families", "fault_campaign", "fault_start",
+        "fault_duration",
     }
     unknown = sorted(set(data) - known)
     if unknown:
@@ -268,4 +312,13 @@ def sweep_spec_from_mapping(data: Mapping) -> SweepSpec:
             None if f in (None, "", "none") else str(f)
             for f in data["ids_families"]
         ]
+    if "fault_campaign" in data:
+        value = data["fault_campaign"]
+        spec.fault_campaign = (
+            None if value in (None, "", "none") else str(value)
+        )
+    if "fault_start" in data:
+        spec.fault_start = float(data["fault_start"])
+    if "fault_duration" in data:
+        spec.fault_duration = float(data["fault_duration"])
     return spec

@@ -67,6 +67,7 @@ def _simulate(spec: RunSpec) -> dict:
         plan=spec.plan,
         ids_family=spec.ids_family,
         overrides=dict(spec.overrides),
+        faults=spec.faults,
     )
     scenario = prepared.scenario
     tracer = None
@@ -106,6 +107,10 @@ def _simulate(spec: RunSpec) -> dict:
             "forged_executed": scenario.command_channel.executed,
         },
     }
+    if prepared.fault_injector is not None:
+        result["resilience"] = prepared.fault_injector.resilience_summary(
+            spec.horizon_s
+        )
     if tracer is not None:
         result["telemetry"] = tracer.summary()
     return result

@@ -22,6 +22,8 @@ from repro.defense.ids.anomaly import AnomalyIds
 from repro.defense.ids.manager import IdsManager
 from repro.defense.ids.signature import SignatureIds
 from repro.defense.ids.spec import ProtocolSpec, SpecificationIds
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultSchedule, schedule_from_primitives
 from repro.scenarios.campaigns import CAMPAIGN_BUILDERS, build_campaign
 from repro.scenarios.worksite import (
     ScenarioConfig,
@@ -144,6 +146,8 @@ class PreparedRun:
     scenario: WorksiteScenario
     windows: List[Tuple[str, float, float]]
     ids_manager: Optional[IdsManager]
+    #: armed fault injector, present only when the spec carries faults
+    fault_injector: Optional[FaultInjector] = None
 
     def score_manager(self) -> Optional[IdsManager]:
         """The manager whose alerts should be scored for this run."""
@@ -157,6 +161,7 @@ def compose_run(
     plan: Sequence[Tuple[str, float, Optional[float]]] = (),
     ids_family: Optional[str] = None,
     overrides: Optional[Mapping[str, object]] = None,
+    faults: object = (),
 ) -> PreparedRun:
     """Compose and arm a worksite run from primitive values.
 
@@ -164,6 +169,11 @@ def compose_run(
     steps (duration ``None`` means open-ended).  An empty plan is the benign
     baseline.  The returned :class:`PreparedRun` has every campaign armed;
     the caller advances the clock with ``prepared.scenario.run(horizon_s)``.
+
+    ``faults`` is either a :class:`~repro.faults.spec.FaultSchedule` or the
+    primitive tuples a :class:`~repro.runner.spec.RunSpec` embeds
+    (``FaultSpec.to_primitives`` items).  An empty value leaves the run
+    entirely fault-free — no injector is built at all.
     """
     for name, _, _ in plan:
         if name not in CAMPAIGN_BUILDERS:
@@ -189,4 +199,15 @@ def compose_run(
     manager = (
         standalone_ids_family(ids_family, scenario) if ids_family else None
     )
-    return PreparedRun(scenario=scenario, windows=windows, ids_manager=manager)
+    injector = None
+    if faults:
+        schedule = (
+            faults if isinstance(faults, FaultSchedule)
+            else schedule_from_primitives(faults)
+        )
+        if schedule:
+            injector = FaultInjector(scenario, schedule).arm()
+    return PreparedRun(
+        scenario=scenario, windows=windows, ids_manager=manager,
+        fault_injector=injector,
+    )

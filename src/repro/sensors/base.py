@@ -60,6 +60,11 @@ class Sensor:
         self.blinded_until: float = -1.0
         self.hijacked_by: Optional[str] = None
         self.observations_made = 0
+        # fault-injection state (distinct from attack state: dropout and
+        # freeze model component failures, not adversarial action)
+        self.fault_dropout = False
+        self.fault_frozen = False
+        self.fault_gain = 1.0
 
     @property
     def position(self):
@@ -89,8 +94,36 @@ class Sensor:
     def release(self) -> None:
         self.hijacked_by = None
 
+    # -- fault injection hooks ------------------------------------------------
+    def inject_dropout(self) -> None:
+        """Fault: the sensor produces nothing until cleared."""
+        self.fault_dropout = True
+
+    def clear_dropout(self) -> None:
+        self.fault_dropout = False
+
+    def inject_freeze(self) -> None:
+        """Fault: the sensor repeats its last pre-freeze output."""
+        self.fault_frozen = True
+
+    def clear_freeze(self) -> None:
+        self.fault_frozen = False
+
+    def set_fault_gain(self, gain: float) -> None:
+        """Fault: systematic output bias as a multiplicative gain."""
+        self.fault_gain = float(gain)
+
+    def clear_faults(self) -> None:
+        self.fault_dropout = False
+        self.fault_frozen = False
+        self.fault_gain = 1.0
+
+    def healthy(self, now: float) -> bool:
+        """Sensor-health vote input: operational and not faulted."""
+        return self.operational(now) and not self.fault_frozen
+
     def operational(self, now: float) -> bool:
-        return self.enabled and not self.is_blinded(now)
+        return self.enabled and not self.fault_dropout and not self.is_blinded(now)
 
     def observe(self, now: float, targets: List[Entity]) -> List[Observation]:
         """Produce observations of ``targets``.  Subclasses override."""

@@ -10,7 +10,7 @@ and weather/light degradation; the synthetic people-detection AI
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.sensors.base import Observation, Sensor
 from repro.sensors.degradation import DegradationModel
@@ -55,6 +55,8 @@ class Camera(Sensor):
         self.fov = math.radians(fov_deg)
         self.nominal_range = nominal_range
         self.heading_offset = heading_offset
+        # last computed quality per target, replayed while fault-frozen
+        self._stale_quality: Dict[str, float] = {}
 
     def in_fov(self, target: Entity) -> bool:
         if self.fov >= 2.0 * math.pi - 1e-9:
@@ -69,6 +71,9 @@ class Camera(Sensor):
 
     def image_quality(self, now: float, target: Entity) -> float:
         """Quality of the target's image in [0, 1]; 0 if unseeable."""
+        if self.fault_frozen:
+            # frozen feed: the detector keeps seeing the stale image
+            return self._stale_quality.get(target.name, 0.0)
         if not self.operational(now):
             return 0.0
         if not self.in_fov(target):
@@ -79,6 +84,9 @@ class Camera(Sensor):
         quality = line.visibility * self._range_factor(line.distance)
         if self.degradation is not None:
             quality *= self.degradation.factors().camera
+        if self.fault_gain != 1.0:
+            quality = max(0.0, min(1.0, quality * self.fault_gain))
+        self._stale_quality[target.name] = quality
         return quality
 
     def observe(self, now: float, targets: List[Entity]) -> List[Observation]:

@@ -10,6 +10,7 @@ per sensor modality, derived from the weather state.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from repro.sim.weather import Weather, WeatherConditions
 
@@ -35,9 +36,30 @@ class DegradationModel:
 
     def __init__(self, weather: Weather) -> None:
         self.weather = weather
+        # fault-injection multipliers per modality; empty in nominal runs,
+        # so factors() returns the pure weather curves unchanged
+        self._fault_factors: Dict[str, float] = {}
+
+    def set_fault_factor(self, modality: str, factor: float) -> None:
+        """Fault hook: degrade ``modality`` by an extra multiplier."""
+        self._fault_factors[modality] = float(factor)
+
+    def clear_fault_factor(self, modality: str) -> None:
+        """Remove a fault multiplier.  Idempotent."""
+        self._fault_factors.pop(modality, None)
 
     def factors(self) -> DegradationFactors:
-        return self.factors_for(self.weather.conditions())
+        base = self.factors_for(self.weather.conditions())
+        if not self._fault_factors:
+            return base
+        f = self._fault_factors
+        clamp = lambda v: max(0.0, min(1.0, v))
+        return DegradationFactors(
+            camera=clamp(base.camera * f.get("camera", 1.0)),
+            lidar=clamp(base.lidar * f.get("lidar", 1.0)),
+            ultrasonic=clamp(base.ultrasonic * f.get("ultrasonic", 1.0)),
+            gnss=clamp(base.gnss * f.get("gnss", 1.0)),
+        )
 
     @staticmethod
     def factors_for(c: WeatherConditions) -> DegradationFactors:

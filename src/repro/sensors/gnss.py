@@ -77,6 +77,12 @@ class GnssReceiver:
         self.jammer_power_db: float = 0.0
         self.spoof_offset: Optional[Vec2] = None
         self.spoof_power_advantage_db: float = 3.0
+        # fault state, driven by repro.faults.injector (component failures,
+        # not attacks: receiver hang, constellation outage, survey bias)
+        self.fault_dropout = False
+        self.fault_frozen = False
+        self.fault_bias: Optional[Vec2] = None
+        self._last_fix: Optional[GnssFix] = None
         self.fixes_produced = 0
         self.fixes_lost = 0
 
@@ -84,14 +90,42 @@ class GnssReceiver:
         self.jammer_power_db = 0.0
         self.spoof_offset = None
 
+    # -- fault injection hooks ------------------------------------------------
+    def inject_dropout(self) -> None:
+        self.fault_dropout = True
+
+    def clear_dropout(self) -> None:
+        self.fault_dropout = False
+
+    def inject_freeze(self) -> None:
+        self.fault_frozen = True
+
+    def clear_freeze(self) -> None:
+        self.fault_frozen = False
+
+    def healthy(self) -> bool:
+        """Sensor-health vote input for the degraded-mode machines."""
+        return not self.fault_dropout and not self.fault_frozen
+
     def fix(self, now: float) -> GnssFix:
-        """Produce the current fix, honouring attack state."""
+        """Produce the current fix, honouring attack and fault state."""
         self.fixes_produced += 1
+        if self.fault_dropout:
+            # receiver hang / constellation outage: no fix, no RNG draws
+            # (the gnss stream resumes exactly where it paused on recovery)
+            self.fixes_lost += 1
+            return GnssFix(now, None, 0.0, n_satellites=0, hdop=99.0)
+        if self.fault_frozen and self._last_fix is not None:
+            stale = self._last_fix
+            return GnssFix(
+                now, stale.position, stale.cn0_dbhz, stale.n_satellites,
+                stale.hdop,
+            )
         if self.spoof_offset is not None:
             # Spoofed: position is true + attacker offset; C/N0 slightly high.
             cn0 = self.nominal_cn0 + self.spoof_power_advantage_db + self._rng.gauss(0.0, 0.7)
             noisy = self._noisy(self.carrier.position + self.spoof_offset)
-            return GnssFix(now, noisy, cn0, n_satellites=9, hdop=0.9)
+            return self._produce(GnssFix(now, noisy, cn0, n_satellites=9, hdop=0.9))
         cn0 = self.nominal_cn0 - self.jammer_power_db + self._rng.gauss(0.0, 1.0)
         if cn0 < self.TRACKING_THRESHOLD_DBHZ:
             self.fixes_lost += 1
@@ -102,7 +136,17 @@ class GnssReceiver:
         n_sats = max(4, int(10 - 5 * degradation))
         hdop = 0.8 + 3.0 * degradation
         noisy = self._noisy(self.carrier.position, sigma)
-        return GnssFix(now, noisy, cn0, n_satellites=n_sats, hdop=hdop)
+        return self._produce(GnssFix(now, noisy, cn0, n_satellites=n_sats, hdop=hdop))
+
+    def _produce(self, fix: GnssFix) -> GnssFix:
+        """Apply the survey-bias fault and remember the fix for freeze."""
+        if self.fault_bias is not None and fix.position is not None:
+            fix = GnssFix(
+                fix.time, fix.position + self.fault_bias, fix.cn0_dbhz,
+                fix.n_satellites, fix.hdop,
+            )
+        self._last_fix = fix
+        return fix
 
     def _noisy(self, p: Vec2, sigma: Optional[float] = None) -> Vec2:
         s = self.noise_sigma_m if sigma is None else sigma

@@ -8,7 +8,7 @@ defence Petit et al. recommend.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.sensors.base import Observation, Sensor
 from repro.sensors.degradation import DegradationModel
@@ -42,8 +42,12 @@ class UltrasonicArray(Sensor):
         self.degradation = degradation
         self.max_range = max_range
         self.base_prob = base_prob
+        # last computed probability per target, replayed while fault-frozen
+        self._stale_prob: Dict[str, float] = {}
 
     def detection_probability(self, now: float, target: Entity) -> float:
+        if self.fault_frozen:
+            return self._stale_prob.get(target.name, 0.0)
         if not self.operational(now):
             return 0.0
         distance = self.position.distance_to(target.position)
@@ -52,7 +56,11 @@ class UltrasonicArray(Sensor):
         p = self.base_prob * (1.0 - (distance / self.max_range) ** 2)
         if self.degradation is not None:
             p *= self.degradation.factors().ultrasonic
-        return max(0.0, p)
+        if self.fault_gain != 1.0:
+            p = min(1.0, p * self.fault_gain)
+        p = max(0.0, p)
+        self._stale_prob[target.name] = p
+        return p
 
     def observe(self, now: float, targets: List[Entity]) -> List[Observation]:
         observations = []

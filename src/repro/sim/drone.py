@@ -141,6 +141,17 @@ class Drone(Entity):
         self.emit(EventCategory.MISSION, "drone_launched",
                   battery_fraction=self.battery_fraction)
 
+    def return_home(self, reason: str = "commanded") -> None:
+        """SAFE_STOP behaviour for an airborne drone: break off and land.
+
+        Grounded/charging drones are already in a safe state; they stay put.
+        """
+        if not self.airborne or self.mode is DroneMode.RETURNING:
+            return
+        self.mode = DroneMode.RETURNING
+        self.emit(EventCategory.MISSION, "drone_returning", reason=reason,
+                  battery_fraction=self.battery_fraction)
+
     def ground(self, reason: str = "commanded") -> None:
         """Force the drone out of operation (failure injection / attack)."""
         self.mode = DroneMode.GROUNDED

@@ -21,7 +21,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -115,11 +115,41 @@ class Simulator:
         self._running = False
         self._processed = 0
         self._live = 0
+        # per-domain clock faults: domain -> (t0, offset_s, rate); empty in
+        # nominal runs so local_time() returns the kernel clock unchanged
+        self._clock_faults: Dict[str, Tuple[float, float, float]] = {}
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    # -- clock domains (fault injection) ------------------------------------
+    def set_clock_drift(
+        self, domain: str, *, offset_s: float = 0.0, rate: float = 0.0
+    ) -> None:
+        """Give ``domain``'s local clock a step ``offset_s`` plus linear
+        drift ``rate`` (seconds of skew per simulated second) from now on.
+
+        Event *scheduling* always uses the kernel clock; drift only affects
+        what :meth:`local_time` reports, i.e. the timestamps a faulted node
+        stamps into its own messages.
+        """
+        self._clock_faults[domain] = (self._now, float(offset_s), float(rate))
+
+    def clear_clock_drift(self, domain: str) -> None:
+        """Remove ``domain``'s clock fault.  Idempotent."""
+        self._clock_faults.pop(domain, None)
+
+    def local_time(self, domain: str) -> float:
+        """``domain``'s local clock: exactly :attr:`now` unless drifted."""
+        if not self._clock_faults:
+            return self._now
+        fault = self._clock_faults.get(domain)
+        if fault is None:
+            return self._now
+        t0, offset, rate = fault
+        return self._now + offset + rate * (self._now - t0)
 
     @property
     def events_processed(self) -> int:

@@ -18,7 +18,7 @@ trace that was just recorded or one loaded from disk.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import Table
 from repro.sim.metrics import SeriesSummary
@@ -115,6 +115,116 @@ def latency_report(records: Sequence[dict]) -> str:
     return "\n".join(lines)
 
 
+# -- resilience metrics (fault campaigns) ------------------------------------
+
+def resilience_metrics(
+    records: Sequence[dict], horizon_s: Optional[float] = None
+) -> dict:
+    """Availability, MTTR and safe-stop latency from a faulted trace.
+
+    Outages are ``service.down``/``service.up`` pairs, keyed by
+    ``machine.service`` (falling back to the bare service name when the
+    emitting :class:`~repro.defense.recovery.ContinuityManager` carries no
+    scope).  An outage still open at end-of-trace is charged up to
+    ``horizon_s`` (defaulting to the last record's timestamp).  Safe-stop
+    latency pairs each ``mode.transition`` into ``safe_stop`` with the most
+    recent preceding ``fault.inject``.
+    """
+    downs = of_type(records, "service.down")
+    ups = of_type(records, "service.up")
+    faults = of_type(records, "fault.inject")
+    transitions = of_type(records, "mode.transition")
+    if horizon_s is None:
+        horizon_s = records[-1]["t"] if records else 0.0
+
+    def key(record: dict) -> str:
+        machine = record.get("machine")
+        service = record["service"]
+        return f"{machine}.{service}" if machine else service
+
+    # Replay outage episodes in trace order, pairing down with the next up.
+    open_at: Dict[str, float] = {}
+    downtime: Dict[str, float] = {}
+    closed_durations: List[float] = []
+    for record in sorted(downs + ups, key=lambda r: r["i"]):
+        k = key(record)
+        if record["type"] == "service.down":
+            open_at.setdefault(k, record["t"])
+        else:
+            started = open_at.pop(k, None)
+            if started is not None:
+                duration = record["t"] - started
+                downtime[k] = downtime.get(k, 0.0) + duration
+                closed_durations.append(duration)
+    for k, started in open_at.items():
+        downtime[k] = downtime.get(k, 0.0) + max(0.0, horizon_s - started)
+
+    availability = {
+        k: round(max(0.0, 1.0 - downtime.get(k, 0.0) / horizon_s), 6)
+        if horizon_s > 0 else 0.0
+        for k in sorted(set(downtime) | {key(r) for r in downs})
+    }
+    mttr = (
+        sum(closed_durations) / len(closed_durations)
+        if closed_durations else None
+    )
+
+    # safe-stop latency: last fault onset before each safe_stop entry
+    latencies: List[float] = []
+    fault_times = [r["t"] for r in faults]
+    for record in transitions:
+        if record.get("mode") != "safe_stop":
+            continue
+        onsets = [t for t in fault_times if t <= record["t"]]
+        if onsets:
+            latencies.append(record["t"] - onsets[-1])
+    latency = SeriesSummary.of(latencies)
+
+    return {
+        "horizon_s": horizon_s,
+        "faults_injected": len(faults),
+        "faults_cleared": len(of_type(records, "fault.clear")),
+        "mode_transitions": len(transitions),
+        "availability": availability,
+        "outages": {
+            "closed": len(closed_durations),
+            "open_at_end": len(open_at),
+            "mttr_s": round(mttr, 3) if mttr is not None else None,
+        },
+        "safe_stop": {
+            "count": latency.count,
+            "latency_p50_s": round(latency.p50, 3) if latency.count else None,
+            "latency_p95_s": round(latency.p95, 3) if latency.count else None,
+        },
+    }
+
+
+def resilience_report(
+    records: Sequence[dict], horizon_s: Optional[float] = None
+) -> str:
+    """The resilience metrics as a readable block (what the CLI prints)."""
+    metrics = resilience_metrics(records, horizon_s)
+    lines = ["resilience (fault campaign)", "=" * 40]
+    lines.append(f"faults injected: {metrics['faults_injected']}"
+                 f" (cleared: {metrics['faults_cleared']})")
+    lines.append(f"mode transitions: {metrics['mode_transitions']}")
+    outages = metrics["outages"]
+    lines.append(f"outages:         {outages['closed']} closed, "
+                 f"{outages['open_at_end']} open at end")
+    if outages["mttr_s"] is not None:
+        lines.append(f"MTTR:            {outages['mttr_s']:.1f} s")
+    safe_stop = metrics["safe_stop"]
+    if safe_stop["count"]:
+        lines.append(f"safe-stop:       {safe_stop['count']} "
+                     f"(latency p50 {safe_stop['latency_p50_s']:.1f} s, "
+                     f"p95 {safe_stop['latency_p95_s']:.1f} s)")
+    if metrics["availability"]:
+        lines.append("availability:")
+        for service, value in metrics["availability"].items():
+            lines.append(f"  {service:<28} {value:.4f}")
+    return "\n".join(lines)
+
+
 # -- attack-vs-defense timeline ----------------------------------------------
 
 #: record types shown on the timeline, with a column tag each
@@ -126,6 +236,11 @@ _TIMELINE_TAGS: Dict[str, str] = {
     "safety.intervention": "SAFETY",
     "safety.violation": "SAFETY",
     "safety.near_miss": "SAFETY",
+    "fault.inject": "FAULT",
+    "fault.clear": "FAULT",
+    "mode.transition": "MODE",
+    "service.down": "SVC",
+    "service.up": "SVC",
 }
 
 
@@ -151,6 +266,22 @@ def _timeline_line(record: dict) -> str:
         body = f"{record['machine']} {record['action']}"
         if detail is not None:
             body += f" ({detail})"
+    elif rtype == "fault.inject":
+        body = f"{record['fault']} injected on {record['target']}"
+    elif rtype == "fault.clear":
+        body = f"{record['fault']} cleared on {record['target']}"
+    elif rtype == "mode.transition":
+        body = (f"{record['machine']} {record['prev']} -> {record['mode']}"
+                + (f" ({record['reason']})" if record.get("reason") else ""))
+    elif rtype == "service.down":
+        machine = record.get("machine")
+        owner = f"{machine}." if machine else ""
+        body = f"{owner}{record['service']} down ({record['cause']})"
+    elif rtype == "service.up":
+        machine = record.get("machine")
+        owner = f"{machine}." if machine else ""
+        body = (f"{owner}{record['service']} restored "
+                f"after {record['outage_s']:.1f} s")
     else:  # safety.violation / safety.near_miss
         kind = "violation" if rtype == "safety.violation" else "near miss"
         body = (f"{record['machine']} {kind} with {record['person']} "
@@ -174,9 +305,17 @@ def timeline_report(records: Sequence[dict], *, limit: int = 80) -> str:
 
 
 def full_report(records: Sequence[dict]) -> str:
-    """All three reports concatenated (what the CLI prints)."""
-    return "\n\n".join([
+    """All reports concatenated (what the CLI prints).
+
+    The resilience block only appears when the trace actually contains
+    fault-campaign records, so fault-free report output is unchanged.
+    """
+    reports = [
         link_report(records),
         latency_report(records),
-        timeline_report(records),
-    ])
+    ]
+    if any(r.get("type") in ("fault.inject", "mode.transition")
+           for r in records):
+        reports.append(resilience_report(records))
+    reports.append(timeline_report(records))
+    return "\n\n".join(reports)

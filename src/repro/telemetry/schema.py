@@ -33,6 +33,10 @@ DROP_CAUSES: FrozenSet[str] = frozenset({
     "unassociated_tx",      # sender not associated, frame never aired
     "unassociated_rx",      # receiver not associated, frame discarded
     "duplicate",            # link-level duplicate suppression
+    # medium fault injection
+    "corrupted",            # in-flight corruption burst (fault campaign)
+    # link layer
+    "retry_exhausted",      # bounded retransmission gave up (hardened mode)
     # record layer
     "decode_error",         # wire record failed to parse
     "no_channel",           # protected record but no channel established
@@ -63,6 +67,14 @@ RECORD_TYPES: Dict[str, FrozenSet[str]] = {
     "safety.near_miss": frozenset({"machine", "person", "separation_m"}),
     # mission progress
     "mission.phase": frozenset({"machine", "phase", "prev"}),
+    # fault injection and degraded-mode resilience (additive under v1:
+    # records of these types simply never occur in fault-free traces, so
+    # the non-perturbation guarantee and the version coexist)
+    "fault.inject": frozenset({"fault", "target"}),
+    "fault.clear": frozenset({"fault", "target"}),
+    "mode.transition": frozenset({"machine", "mode", "prev"}),
+    "service.down": frozenset({"service", "cause"}),
+    "service.up": frozenset({"service", "outage_s"}),
 }
 
 #: record types whose ``cause`` field must come from :data:`DROP_CAUSES`

@@ -113,6 +113,8 @@ class Tracer:
         self._links: Dict[str, Dict[str, int]] = {}
         self._latencies: List[float] = []
         self._alerts_in_window = 0
+        # fault onset times, for safe-stop latency attribution
+        self._fault_onsets: List[float] = []
 
     # -- core ---------------------------------------------------------------
     def _emit(self, rtype: str, **fields) -> None:
@@ -260,6 +262,42 @@ class Tracer:
     def mission_phase(self, machine: str, phase: str, prev: str) -> None:
         self._emit("mission.phase", machine=machine, phase=phase, prev=prev)
 
+    # -- fault injection and resilience ---------------------------------------
+    def fault_inject(self, fault: str, target: str) -> None:
+        self._fault_onsets.append(self.sim.now)
+        self._emit("fault.inject", fault=fault, target=target)
+
+    def fault_clear(self, fault: str, target: str) -> None:
+        self._emit("fault.clear", fault=fault, target=target)
+
+    def mode_transition(
+        self, machine: str, mode: str, prev: str, **extra
+    ) -> None:
+        if mode == "safe_stop" and self._fault_onsets:
+            # latency from the most recent fault onset to this safe stop
+            extra.setdefault(
+                "latency_s", round(self.sim.now - self._fault_onsets[-1], 6)
+            )
+        self._emit(
+            "mode.transition", machine=machine, mode=mode, prev=prev, **extra
+        )
+
+    def service_down(
+        self, service: str, cause: str, machine: Optional[str] = None
+    ) -> None:
+        fields = {"service": service, "cause": cause}
+        if machine is not None:
+            fields["machine"] = machine
+        self._emit("service.down", **fields)
+
+    def service_up(
+        self, service: str, outage_s: float, machine: Optional[str] = None
+    ) -> None:
+        fields = {"service": service, "outage_s": round(outage_s, 6)}
+        if machine is not None:
+            fields["machine"] = machine
+        self._emit("service.up", **fields)
+
     # -- summary --------------------------------------------------------------
     @property
     def record_count(self) -> int:
@@ -279,7 +317,7 @@ class Tracer:
 
         alerts = self._by_type.get("ids.alert", 0)
         latency = SeriesSummary.of(self._latencies)
-        return {
+        summary = {
             "schema": SCHEMA_VERSION,
             "records": self._index,
             "by_type": dict(sorted(self._by_type.items())),
@@ -318,3 +356,15 @@ class Tracer:
                 "near_misses": self._by_type.get("safety.near_miss", 0),
             },
         }
+        # only present when the run actually injected faults, so baseline
+        # (fault-free) summaries keep their exact pre-existing shape
+        faults = self._by_type.get("fault.inject", 0)
+        if faults or self._by_type.get("mode.transition", 0):
+            summary["resilience"] = {
+                "faults_injected": faults,
+                "faults_cleared": self._by_type.get("fault.clear", 0),
+                "mode_transitions": self._by_type.get("mode.transition", 0),
+                "service_outages": self._by_type.get("service.down", 0),
+                "service_recoveries": self._by_type.get("service.up", 0),
+            }
+        return summary

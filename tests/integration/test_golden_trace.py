@@ -1,0 +1,59 @@
+"""Golden-trace regression: the fault layer must not perturb the baseline.
+
+The fixture ``golden/trace_seed11_rf_jamming.jsonl.gz`` was recorded from
+the tree *before* the fault-injection subsystem existed.  Re-running the
+same recipe now — including arming an **empty** fault schedule — must
+reproduce it byte for byte: same RNG draws, same event ordering, same
+canonical JSON.  Any hot-path perturbation (an extra RNG draw, a changed
+timestamp, a reordered event) shows up here first.
+"""
+
+import gzip
+import hashlib
+from pathlib import Path
+
+from repro.faults import FaultInjector, FaultSchedule
+from repro.scenarios.campaigns import build_campaign
+from repro.scenarios.worksite import ScenarioConfig, build_worksite
+from repro.telemetry.tracer import Tracer, installed
+from repro.telemetry.writer import TraceWriter
+
+GOLDEN = Path(__file__).parent / "golden" / "trace_seed11_rf_jamming.jsonl.gz"
+GOLDEN_SHA256 = "3b0dd7a773e74bba3bb6c842b28f98daec82f11c91ffa0048d401b9fcde1e00c"
+
+
+def record_trace(path, *, arm_empty_schedule: bool) -> bytes:
+    scenario = build_worksite(ScenarioConfig(seed=11))
+    writer = TraceWriter(path)
+    tracer = Tracer(scenario.sim, writer)
+    tracer.meta(seed=11, horizon_s=90.0, campaign="rf_jamming")
+    build_campaign("rf_jamming", scenario, start=20.0, duration=40.0).arm()
+    if arm_empty_schedule:
+        injector = FaultInjector(scenario, FaultSchedule()).arm()
+        assert injector.armed is False
+    with installed(tracer):
+        scenario.run(90.0)
+    writer.close()
+    return Path(path).read_bytes()
+
+
+class TestGoldenTrace:
+    def test_fixture_integrity(self):
+        raw = gzip.decompress(GOLDEN.read_bytes())
+        assert hashlib.sha256(raw).hexdigest() == GOLDEN_SHA256
+
+    def test_empty_fault_schedule_reproduces_golden_bytes(self, tmp_path):
+        raw = record_trace(
+            tmp_path / "trace.jsonl", arm_empty_schedule=True
+        )
+        golden = gzip.decompress(GOLDEN.read_bytes())
+        assert hashlib.sha256(raw).hexdigest() == GOLDEN_SHA256, (
+            "armed empty fault schedule perturbed the baseline trace "
+            f"({len(raw)} bytes vs golden {len(golden)})"
+        )
+
+    def test_without_fault_layer_still_matches(self, tmp_path):
+        raw = record_trace(
+            tmp_path / "trace.jsonl", arm_empty_schedule=False
+        )
+        assert hashlib.sha256(raw).hexdigest() == GOLDEN_SHA256
