@@ -24,7 +24,19 @@ Subcommands
     Record a structured JSONL trace of a (optionally attacked) run and
     print the analysis reports: per-link delivery/drop breakdown,
     detection-latency percentiles and the attack-vs-defense timeline.
-    ``--analyze`` re-runs the reports on an existing trace file.
+    ``--analyze`` re-runs the reports on an existing trace file.  The
+    trace header embeds the run's :class:`~repro.runner.spec.RunSpec`, so
+    the file is self-describing and replayable by ``check``.
+``check``
+    Run the differential replay oracle over a recorded trace: sweep the
+    runtime invariants offline, then re-execute the run from the embedded
+    spec and diff the fresh stream record by record.  ``--selftest`` runs
+    the mutation harness (seeded violations must all be flagged).
+
+Setting ``REPRO_CHECK=1`` additionally checks the invariants *online*
+during ``run`` and ``trace`` (and inside sweep workers, whose records
+gain an ``invariants`` block); a violation makes the command exit
+non-zero.
 
 Examples::
 
@@ -42,6 +54,9 @@ Examples::
     repro-worksite trace --campaign rf_jamming --minutes 5 --check
     repro-worksite trace --fault-campaign crash_brownout --minutes 2
     repro-worksite trace --analyze out/trace.jsonl
+    repro-worksite check --trace out/trace.jsonl --report out/check.json
+    repro-worksite check --selftest
+    REPRO_CHECK=1 repro-worksite run --minutes 5
 """
 
 from __future__ import annotations
@@ -130,6 +145,18 @@ def _print_resilience(injector, horizon_s: float) -> None:
           f"{delivery['rejoins']} channel rejoins")
 
 
+def _print_invariants(checker) -> None:
+    """One line per finished online invariant check (plus any violations)."""
+    checker.finish()
+    print(f"invariants:       {len(checker.invariants)} checked, "
+          f"{len(checker.violations)} violation(s)")
+    for violation in checker.violations[:10]:
+        print(f"  [{violation.invariant}] t={violation.t:.1f} s: "
+              f"{violation.message}", file=sys.stderr)
+    if len(checker.violations) > 10:
+        print(f"  ... {len(checker.violations) - 10} more", file=sys.stderr)
+
+
 def _print_summary(scenario) -> None:
     summary = scenario.summary()
     safety = summary["safety"]
@@ -144,6 +171,7 @@ def _print_summary(scenario) -> None:
 
 
 def cmd_run(args) -> int:
+    from repro.invariants import engine as checks
     from repro.scenarios.worksite import build_worksite
 
     config = _scenario_config(args)
@@ -157,8 +185,21 @@ def cmd_run(args) -> int:
         print(f"fault schedule error: {exc}", file=sys.stderr)
         return 2
     print(f"running worksite seed={args.seed} for {args.minutes} min ...")
-    scenario.run(horizon)
+    checker = None
+    if checks.env_enabled():
+        # online checking rides on the record stream, so REPRO_CHECK
+        # installs a writer-less tracer alongside the engine
+        from repro.telemetry import tracer as trace
+
+        checker = checks.InvariantEngine()
+        with trace.installed(trace.Tracer(scenario.sim)):
+            with checks.installed(checker):
+                scenario.run(horizon)
+    else:
+        scenario.run(horizon)
     _print_summary(scenario)
+    if checker is not None:
+        _print_invariants(checker)
     if injector is not None:
         _print_resilience(injector, horizon)
     if args.metrics_json:
@@ -169,10 +210,14 @@ def cmd_run(args) -> int:
         hub.register_collector("worksite", scenario.metrics)
         written = hub.export_json(args.metrics_json)
         print(f"metrics:          {written}")
+    if checker is not None and not checker.ok:
+        return 1
     return 0
 
 
 def cmd_trace(args) -> int:
+    from repro.invariants import engine as checks
+    from repro.runner.spec import RunSpec
     from repro.scenarios.campaigns import CAMPAIGN_BUILDERS, build_campaign
     from repro.scenarios.worksite import build_worksite
     from repro.telemetry import (
@@ -203,12 +248,32 @@ def cmd_trace(args) -> int:
         return 2
     scenario = build_worksite(_scenario_config(args))
     horizon = args.minutes * 60.0
+    try:
+        schedule = _fault_schedule(args)
+    except (ValueError, OSError) as exc:
+        print(f"fault schedule error: {exc}", file=sys.stderr)
+        return 2
+    # the equivalent primitive spec, embedded in the header so the trace
+    # is self-describing and `check` can differentially replay it
+    spec = RunSpec.single(
+        args.campaign or "baseline",
+        seed=args.seed,
+        horizon_s=horizon,
+        profile="undefended" if args.undefended else "defended",
+        start=args.start,
+        duration=args.duration,
+        overrides={"drone_enabled": False} if args.no_drone else None,
+        faults=tuple(
+            fault.to_primitives() for fault in schedule.faults
+        ) if schedule is not None else (),
+    )
     tracer = Tracer(scenario.sim, TraceWriter(args.out))
     tracer.meta(
         seed=args.seed,
         profile=scenario.config.profile.value,
         horizon_s=horizon,
         campaign=args.campaign,
+        spec=spec.to_dict(),
     )
     if args.campaign:
         campaign = build_campaign(
@@ -216,20 +281,27 @@ def cmd_trace(args) -> int:
             **({"duration": args.duration} if args.duration else {}),
         )
         campaign.arm()
-    try:
-        injector = _arm_faults(args, scenario)
-    except (ValueError, OSError) as exc:
-        print(f"fault schedule error: {exc}", file=sys.stderr)
-        return 2
+    injector = None
+    if schedule is not None:
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(scenario, schedule).arm()
     target = "baseline" if not args.campaign else args.campaign
     if injector is not None:
         target += f" + {len(injector.schedule)} fault(s)"
     print(f"tracing {target!r} run seed={args.seed} "
           f"for {args.minutes} min -> {args.out}")
+    checker = checks.InvariantEngine() if checks.env_enabled() else None
     with installed(tracer):
-        scenario.run(horizon)
+        if checker is not None:
+            with checks.installed(checker):
+                scenario.run(horizon)
+        else:
+            scenario.run(horizon)
     tracer.close()
     print(f"trace:            {tracer.record_count} records")
+    if checker is not None:
+        _print_invariants(checker)
     records = read_trace(args.out)
     if args.check:
         problems = validate_trace(records)
@@ -241,7 +313,42 @@ def cmd_trace(args) -> int:
     if not args.no_report:
         print()
         print(full_report(records))
-    return 0
+    return 1 if checker is not None and not checker.ok else 0
+
+
+def cmd_check(args) -> int:
+    from repro.invariants.oracle import check_trace, write_report
+    from repro.telemetry.analysis import check_report
+
+    if args.selftest:
+        from repro.invariants.selftest import run_selftest
+
+        report = run_selftest()
+        print(f"self-test: {report['detected']}/{report['mutations']} "
+              f"seeded violations detected (base trace "
+              f"{report['base_records']} records, "
+              f"{report['base_violations']} baseline violations)")
+        for result in report["results"]:
+            caught = result["detected"] and result["attributed"]
+            print(f"  {result['mutation']:<20} -> "
+                  f"{result['expected_invariant']:<28} "
+                  f"{'ok' if caught else 'MISSED'}")
+        if args.report:
+            print(f"report:           {write_report(report, args.report)}")
+        return 0 if report["ok"] else 1
+
+    if not args.trace:
+        print("check: --trace PATH (or --selftest) required", file=sys.stderr)
+        return 2
+    try:
+        report = check_trace(args.trace, replay=not args.no_replay)
+    except (OSError, ValueError) as exc:
+        print(f"check error: {exc}", file=sys.stderr)
+        return 2
+    print(check_report(report))
+    if args.report:
+        print(f"report:           {write_report(report, args.report)}")
+    return 0 if report["ok"] else 1
 
 
 def cmd_attack(args) -> int:
@@ -628,6 +735,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="record only, skip the analysis reports")
     fault_flags(trace_p)
     trace_p.set_defaults(func=cmd_trace)
+
+    check_p = sub.add_parser(
+        "check",
+        help="invariant-check a recorded trace and differentially replay "
+             "it from its embedded spec",
+    )
+    check_p.add_argument("--trace", default=None, metavar="PATH",
+                         help="recorded JSONL trace to check")
+    check_p.add_argument("--report", default=None, metavar="PATH",
+                         help="write the JSON violation report here")
+    check_p.add_argument("--no-replay", action="store_true",
+                         help="skip the differential replay; offline "
+                              "invariant sweep only")
+    check_p.add_argument("--selftest", action="store_true",
+                         help="run the mutation self-test: seed known "
+                              "violations, assert each is flagged")
+    check_p.set_defaults(func=cmd_check)
     return parser
 
 

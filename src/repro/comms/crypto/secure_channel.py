@@ -45,6 +45,7 @@ from repro.comms.crypto.primitives import (
     hmac_sha256,
     nonce_from_sequence,
 )
+from repro.perf import counters as perf
 
 
 class HandshakeError(ValueError):
@@ -132,6 +133,8 @@ class SecureChannel:
         if profile is SecurityProfile.AEAD:
             self._send_subkeys = derive_aead_subkeys(send_key)
             self._recv_subkeys = derive_aead_subkeys(recv_key)
+            if perf.ACTIVE:
+                perf.incr("crypto.subkey_derivations", 2)
         else:
             self._send_subkeys = self._recv_subkeys = None
         self._send_seq = 0
@@ -163,6 +166,8 @@ class SecureChannel:
             body = plaintext + tag
         else:
             enc_key, mac_key = self._send_subkeys
+            if perf.ACTIVE:
+                perf.incr("crypto.subkey_cache_hits")
             body = aead_encrypt_subkeys(
                 enc_key, mac_key, nonce_from_sequence(seq), plaintext, aad
             )
@@ -200,6 +205,8 @@ class SecureChannel:
             else:
                 try:
                     enc_key, mac_key = self._recv_subkeys
+                    if perf.ACTIVE:
+                        perf.incr("crypto.subkey_cache_hits")
                     plaintext = aead_decrypt_subkeys(
                         enc_key, mac_key, nonce_from_sequence(record.seq),
                         record.body, aad,

@@ -1,0 +1,26 @@
+"""Runtime invariant engine: typed, per-subsystem contract checks.
+
+Every invariant watches the structured trace record stream
+(:mod:`repro.telemetry.schema`), which makes one engine serve both
+modes:
+
+* **online** — installed behind the ``REPRO_CHECK=1`` guard, fed each
+  record as the tracer emits it (zero perturbation: records are checked
+  after they are written, and the guard is one attribute load when off);
+* **offline** — run over a recorded JSONL trace by the differential
+  replay oracle (``repro-worksite check``).
+
+The registry lives in :func:`repro.invariants.engine.default_invariants`;
+see ``docs/testing.md`` for how to author a new invariant.
+"""
+
+from repro.invariants.base import Invariant, Violation, observe_all
+from repro.invariants.engine import InvariantEngine, default_invariants
+
+__all__ = [
+    "Invariant",
+    "InvariantEngine",
+    "Violation",
+    "default_invariants",
+    "observe_all",
+]

@@ -1,0 +1,59 @@
+"""Simulation-kernel invariants: the clock and record index.
+
+The event kernel only ever moves time forward, and the tracer stamps a
+monotonically increasing record index — so a trace whose ``t`` goes
+backwards, or whose ``i`` stream has gaps or repeats, was either recorded
+by a broken kernel or tampered with after the fact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.invariants.base import Invariant, Violation
+
+
+class MonotoneClockInvariant(Invariant):
+    """Simulated time never decreases across the record stream."""
+
+    name = "clock.monotonic"
+    subsystem = "sim.engine"
+
+    def __init__(self) -> None:
+        self._last_t: Optional[float] = None
+
+    def observe(self, record: dict) -> Iterator[Violation]:
+        t = record.get("t")
+        if not isinstance(t, (int, float)):
+            yield self.violation(record, f"record t is {t!r}, not a number")
+            return
+        if self._last_t is not None and t < self._last_t:
+            yield self.violation(
+                record,
+                f"sim clock went backwards: t={t} after t={self._last_t}",
+                previous_t=self._last_t,
+            )
+        self._last_t = float(t)
+
+
+class RecordIndexInvariant(Invariant):
+    """Record indices are contiguous: each ``i`` is the previous plus one."""
+
+    name = "clock.record_index"
+    subsystem = "telemetry"
+
+    def __init__(self) -> None:
+        self._last_i: Optional[int] = None
+
+    def observe(self, record: dict) -> Iterator[Violation]:
+        i = record.get("i")
+        if not isinstance(i, int):
+            yield self.violation(record, f"record i is {i!r}, not an integer")
+            return
+        if self._last_i is not None and i != self._last_i + 1:
+            yield self.violation(
+                record,
+                f"record index gap: i={i} follows i={self._last_i}",
+                previous_i=self._last_i,
+            )
+        self._last_i = i

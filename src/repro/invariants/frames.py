@@ -1,0 +1,132 @@
+"""Frame-lifecycle invariants: causality and conservation of the
+seal → tx → medium verdict → rx/drop pipeline.
+
+The medium gives every transmitted frame exactly one verdict —
+``frame.delivered`` or a ``frame.drop`` with a medium cause — and a frame
+can only be received (``frame.rx``) after it was delivered.  So, per
+``(src, dst, seq)`` flight key:
+
+* a delivery or medium drop without a preceding ``frame.tx`` is a forged
+  frame materialising out of thin air (causality);
+* more verdicts than transmissions means a frame was counted twice
+  (conservation; retransmissions raise the tx count, so a legitimate
+  duplicate delivery never trips this);
+* every drop cause must come from the declared taxonomy
+  (:data:`repro.telemetry.schema.DROP_CAUSES`).
+
+Link-layer drops are exempt from the tx-precedes rule where the lifecycle
+says so: ``unassociated_tx`` frames were never aired at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.invariants.base import Invariant, Violation
+from repro.telemetry.schema import DROP_CAUSES
+
+FlightKey = Tuple[str, str, object]
+
+#: drop causes emitted by the medium — the frame *was* transmitted
+MEDIUM_CAUSES = frozenset({
+    "dst_unknown", "dst_unpowered", "link_budget", "corrupted",
+})
+
+#: drop causes for frames that never reached the medium
+_NEVER_AIRED = frozenset({"unassociated_tx"})
+
+
+class FrameCausalityInvariant(Invariant):
+    """Deliveries, receptions and medium drops trace back to a tx."""
+
+    name = "frames.causality"
+    subsystem = "comms"
+
+    def __init__(self) -> None:
+        self._tx: Dict[FlightKey, int] = {}
+        self._verdicts: Dict[FlightKey, int] = {}
+        self._delivered: Dict[FlightKey, int] = {}
+        self._rx: Dict[FlightKey, int] = {}
+
+    def observe(self, record: dict) -> Iterator[Violation]:
+        rtype = record.get("type")
+        if rtype == "frame.tx":
+            key = (record.get("src"), record.get("dst"), record.get("seq"))
+            self._tx[key] = self._tx.get(key, 0) + 1
+            return
+        if rtype == "frame.delivered":
+            key = (record.get("src"), record.get("dst"), record.get("seq"))
+            yield from self._verdict(record, key, "delivered")
+            self._delivered[key] = self._delivered.get(key, 0) + 1
+            return
+        if rtype == "frame.drop":
+            cause = record.get("cause")
+            if cause in _NEVER_AIRED:
+                return
+            key = (record.get("src"), record.get("dst"), record.get("seq"))
+            if cause in MEDIUM_CAUSES:
+                yield from self._verdict(record, key, f"drop({cause})")
+            elif key not in self._tx:
+                # link-layer drops (duplicate, unassociated_rx,
+                # retry_exhausted) still concern a frame that was sent
+                yield self.violation(
+                    record,
+                    f"frame.drop({cause}) for never-transmitted frame "
+                    f"{key[0]}->{key[1]} seq={key[2]}",
+                    src=key[0], dst=key[1], seq=key[2], cause=cause,
+                )
+            return
+        if rtype == "frame.rx":
+            # rx names the receiving node; the flight key is src -> node
+            key = (record.get("src"), record.get("node"), record.get("seq"))
+            count = self._rx.get(key, 0) + 1
+            self._rx[key] = count
+            if count > self._delivered.get(key, 0):
+                yield self.violation(
+                    record,
+                    f"frame.rx without delivery: {key[0]}->{key[1]} "
+                    f"seq={key[2]} received {count}x, "
+                    f"delivered {self._delivered.get(key, 0)}x",
+                    src=key[0], dst=key[1], seq=key[2],
+                )
+
+    def _verdict(
+        self, record: dict, key: FlightKey, what: str
+    ) -> Iterator[Violation]:
+        transmitted = self._tx.get(key, 0)
+        count = self._verdicts.get(key, 0) + 1
+        self._verdicts[key] = count
+        if transmitted == 0:
+            yield self.violation(
+                record,
+                f"forged frame: {what} of {key[0]}->{key[1]} seq={key[2]} "
+                f"with no frame.tx",
+                src=key[0], dst=key[1], seq=key[2],
+            )
+        elif count > transmitted:
+            yield self.violation(
+                record,
+                f"conservation: {count} medium verdicts for "
+                f"{transmitted} transmission(s) of {key[0]}->{key[1]} "
+                f"seq={key[2]}",
+                src=key[0], dst=key[1], seq=key[2],
+                verdicts=count, transmitted=transmitted,
+            )
+
+
+class DropTaxonomyInvariant(Invariant):
+    """Every drop cause belongs to the declared 10-cause taxonomy."""
+
+    name = "frames.drop_taxonomy"
+    subsystem = "comms"
+
+    def observe(self, record: dict) -> Iterator[Violation]:
+        if record.get("type") not in ("frame.drop", "record.drop"):
+            return
+        cause = record.get("cause")
+        if cause not in DROP_CAUSES:
+            yield self.violation(
+                record,
+                f"{record['type']} with unknown cause {cause!r}",
+                cause=cause,
+            )

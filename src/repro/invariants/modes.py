@@ -1,0 +1,121 @@
+"""Degraded-mode invariants: transition legality and RTO-deadline order.
+
+The :class:`~repro.faults.modes.ModeMachine` contract
+(NOMINAL → DEGRADED → SAFE_STOP → RECOVERING → NOMINAL):
+
+* only the transitions the state machine can actually take are legal —
+  in particular NOMINAL is only reachable from RECOVERING, and SAFE_STOP
+  never relaxes straight back to DEGRADED or NOMINAL;
+* each ``mode.transition`` record's ``prev`` must chain onto the last
+  observed mode of that machine (initially NOMINAL);
+* an escalation with reason ``<service>:rto_exceeded`` is the RTO
+  deadline firing — it may only happen while that machine's service
+  outage is still open, and strictly after the outage began;
+* safe-stop ``latency_s`` attribution can never be negative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.invariants.base import Invariant, Violation
+
+#: mode -> modes reachable in one transition (from ModeMachine._to call sites)
+ALLOWED_TRANSITIONS: Dict[str, frozenset] = {
+    "nominal": frozenset({"degraded", "safe_stop"}),
+    "degraded": frozenset({"safe_stop", "recovering"}),
+    "safe_stop": frozenset({"recovering"}),
+    "recovering": frozenset({"nominal", "degraded", "safe_stop"}),
+}
+
+RTO_REASON_SUFFIX = ":rto_exceeded"
+
+
+class ModeTransitionInvariant(Invariant):
+    """Mode machines only move along the declared transition graph."""
+
+    name = "modes.transition_legality"
+    subsystem = "faults.modes"
+
+    def __init__(self) -> None:
+        self._mode: Dict[str, str] = {}
+
+    def observe(self, record: dict) -> Iterator[Violation]:
+        if record.get("type") != "mode.transition":
+            return
+        machine = record.get("machine")
+        mode, prev = record.get("mode"), record.get("prev")
+        tracked = self._mode.get(machine, "nominal")
+        self._mode[machine] = mode
+        if prev != tracked:
+            yield self.violation(
+                record,
+                f"{machine} transition chain broken: record claims "
+                f"prev={prev!r} but last observed mode is {tracked!r}",
+                machine=machine, claimed_prev=prev, observed_prev=tracked,
+            )
+        allowed = ALLOWED_TRANSITIONS.get(prev)
+        if allowed is None:
+            yield self.violation(
+                record, f"{machine} in unknown mode {prev!r}",
+                machine=machine, mode=prev,
+            )
+        elif mode not in allowed:
+            yield self.violation(
+                record,
+                f"illegal mode jump on {machine}: {prev} -> {mode} "
+                f"(allowed from {prev}: {sorted(allowed)})",
+                machine=machine, prev=prev, mode=mode,
+            )
+        latency = record.get("latency_s")
+        if latency is not None and latency < 0.0:
+            yield self.violation(
+                record,
+                f"{machine} safe-stop latency is negative ({latency} s)",
+                machine=machine, latency_s=latency,
+            )
+
+
+class RtoOrderingInvariant(Invariant):
+    """RTO escalations fire only during the outage they escalate."""
+
+    name = "modes.rto_ordering"
+    subsystem = "faults.modes"
+
+    def __init__(self) -> None:
+        #: (machine, service) -> outage start time, while the outage is open
+        self._open: Dict[Tuple[str, str], float] = {}
+
+    def observe(self, record: dict) -> Iterator[Violation]:
+        rtype = record.get("type")
+        if rtype == "service.down":
+            key = (record.get("machine"), record.get("service"))
+            self._open.setdefault(key, float(record.get("t", 0.0)))
+            return
+        if rtype == "service.up":
+            self._open.pop(
+                (record.get("machine"), record.get("service")), None
+            )
+            return
+        if rtype != "mode.transition" or record.get("mode") != "safe_stop":
+            return
+        reason = record.get("reason") or ""
+        if not reason.endswith(RTO_REASON_SUFFIX):
+            return
+        machine = record.get("machine")
+        service = reason[: -len(RTO_REASON_SUFFIX)]
+        started = self._open.get((machine, service))
+        if started is None:
+            yield self.violation(
+                record,
+                f"{machine} escalated {service} RTO with no open outage "
+                f"for that service",
+                machine=machine, service=service,
+            )
+        elif float(record.get("t", 0.0)) <= started:
+            yield self.violation(
+                record,
+                f"{machine} escalated {service} RTO at t={record.get('t')} "
+                f"but the outage only began at t={started}",
+                machine=machine, service=service, outage_started=started,
+            )

@@ -1,0 +1,178 @@
+"""Differential replay oracle: re-execute a recorded trace and diff it.
+
+A trace recorded with its :class:`~repro.runner.spec.RunSpec` embedded in
+the ``trace.meta`` header is *self-describing*: the oracle rebuilds the
+run from the spec's seed/plan/faults via
+:func:`~repro.scenarios.factory.compose_run`, re-runs it with an
+in-memory tracer, and compares the fresh record stream against the file
+record by record (canonical JSON, so "equal" means byte-equal on disk).
+Any divergence — a changed field, a missing record, extra records — is
+reported with the index where the histories split.
+
+:func:`check_trace` is the CLI entry point (``repro-worksite check``):
+it folds the offline invariant sweep and the differential replay into
+one structured, JSON-serialisable violation report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Mapping, Optional
+
+from repro.invariants.engine import InvariantEngine
+from repro.telemetry.writer import canonical_line, read_trace
+
+#: report schema version (bumped when the report shape changes)
+REPORT_SCHEMA = 1
+
+#: how many record-level divergences a replay diff carries in full
+DIVERGENCE_CAP = 5
+
+#: how many violation dicts a report carries in full
+VIOLATION_CAP = 100
+
+
+def spec_from_meta(records: List[dict]) -> Optional[dict]:
+    """The embedded RunSpec dict, if the trace header carries one."""
+    if not records:
+        return None
+    meta = records[0]
+    if meta.get("type") != "trace.meta":
+        return None
+    spec = meta.get("spec")
+    return dict(spec) if isinstance(spec, Mapping) else None
+
+
+def replay_records(records: List[dict]) -> List[dict]:
+    """Re-execute the run described by the trace header, in memory.
+
+    Reconstructs the scenario from the embedded spec, re-emits the header
+    verbatim (minus the tracer-stamped ``v``/``i``/``t``/``type`` fields,
+    which the fresh tracer stamps itself), and runs to the recorded
+    horizon.  Raises :class:`ValueError` when the trace is not
+    self-describing.
+    """
+    # imported lazily: the oracle sits under the tracer in the import
+    # graph, and pool workers never need the composition stack
+    from repro.runner.spec import RunSpec
+    from repro.scenarios.factory import compose_run
+    from repro.telemetry import tracer as trace
+
+    spec_dict = spec_from_meta(records)
+    if spec_dict is None:
+        raise ValueError(
+            "trace is not self-describing: no RunSpec embedded in "
+            "trace.meta (record it with a current `repro-worksite trace`)"
+        )
+    spec = RunSpec.from_dict(spec_dict)
+    prepared = compose_run(
+        seed=spec.seed,
+        horizon_s=spec.horizon_s,
+        profile=spec.profile,
+        plan=spec.plan,
+        ids_family=spec.ids_family,
+        overrides=dict(spec.overrides),
+        faults=spec.faults,
+    )
+    tracer = trace.Tracer(prepared.scenario.sim, keep_records=True)
+    meta_fields = {
+        key: value for key, value in records[0].items()
+        if key not in ("v", "i", "t", "type", "schema")
+    }
+    tracer.meta(**meta_fields)
+    with trace.installed(tracer):
+        prepared.scenario.run(spec.horizon_s)
+    return tracer.records
+
+
+def diff_records(
+    recorded: List[dict],
+    replayed: List[dict],
+    *,
+    cap: int = DIVERGENCE_CAP,
+) -> dict:
+    """Record-by-record canonical-JSON diff of two record streams."""
+    divergences: List[dict] = []
+    total = 0
+    for index in range(max(len(recorded), len(replayed))):
+        old = recorded[index] if index < len(recorded) else None
+        new = replayed[index] if index < len(replayed) else None
+        old_line = canonical_line(old) if old is not None else None
+        new_line = canonical_line(new) if new is not None else None
+        if old_line == new_line:
+            continue
+        total += 1
+        if len(divergences) < cap:
+            divergences.append({
+                "i": index,
+                "recorded": old_line,
+                "replayed": new_line,
+            })
+    return {
+        "recorded": len(recorded),
+        "replayed": len(replayed),
+        "divergences": total,
+        "first_divergences": divergences,
+        "ok": total == 0,
+    }
+
+
+def check_trace(
+    path,
+    *,
+    replay: bool = True,
+    invariants: Optional[List] = None,
+) -> dict:
+    """Full oracle pass over a trace file: invariants, then replay diff.
+
+    Returns the violation report (see ``docs/testing.md`` for the shape);
+    ``report["ok"]`` is the overall verdict.
+    """
+    records = read_trace(path)
+    engine = InvariantEngine(invariants)
+    engine.check(records)
+    violations = [v.to_dict() for v in engine.violations]
+    report = {
+        "schema": REPORT_SCHEMA,
+        "trace": str(path),
+        "records": len(records),
+        "invariants": {
+            "checked": len(engine.invariants),
+            "violations": len(violations),
+            "by_invariant": engine.by_invariant(),
+            "details": violations[:VIOLATION_CAP],
+        },
+    }
+    if len(violations) > VIOLATION_CAP:
+        report["invariants"]["truncated"] = len(violations) - VIOLATION_CAP
+    if replay:
+        if spec_from_meta(records) is None:
+            report["replay"] = {
+                "performed": False,
+                "reason": "no RunSpec embedded in trace.meta",
+                "ok": True,
+            }
+        else:
+            fresh = replay_records(records)
+            diff = diff_records(records, fresh)
+            diff["performed"] = True
+            report["replay"] = diff
+    else:
+        report["replay"] = {
+            "performed": False, "reason": "disabled", "ok": True,
+        }
+    report["ok"] = engine.ok and report["replay"]["ok"]
+    return report
+
+
+def write_report(report: Mapping, path) -> str:
+    """Write a violation report as stable, human-diffable JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(report, indent=2, sort_keys=True, allow_nan=False)
+        + "\n",
+        encoding="utf-8",
+    )
+    return str(target)

@@ -109,6 +109,23 @@ def summarize_group(records: Sequence[dict]) -> dict:
                 [float(res["delivery"]["rejoins"]) for res in resilience]
             ),
         }
+    invariants = [r["invariants"] for r in ok if r.get("invariants")]
+    if invariants:
+        flagged = [inv for inv in invariants if inv["violations"]]
+        kinds = sorted(
+            {name for inv in flagged for name in inv["by_invariant"]}
+        )
+        summary["invariants"] = {
+            "checked_runs": len(invariants),
+            "violations": sum(inv["violations"] for inv in invariants),
+            "runs_with_violations": len(flagged),
+            "by_invariant": {
+                name: sum(
+                    inv["by_invariant"].get(name, 0) for inv in flagged
+                )
+                for name in kinds
+            },
+        }
     perf_snaps = [
         r["perf"] for r in records
         if r.get("status") == "ok" and r.get("perf")

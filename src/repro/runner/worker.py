@@ -13,7 +13,8 @@ determinism contract the cache relies on); wall-clock timing lives outside
 it under ``wall_s``, and so does the optional ``perf`` counter snapshot
 (its ``timings`` carry wall-clock seconds).  The deterministic telemetry
 summary recorded under ``REPRO_TRACE=1`` *is* spec-pure, so it rides inside
-``result`` as ``result["telemetry"]``.
+``result`` as ``result["telemetry"]``; likewise the invariant report
+recorded under ``REPRO_CHECK=1`` rides as ``result["invariants"]``.
 """
 
 from __future__ import annotations
@@ -57,6 +58,7 @@ def execute_run(spec: Union[RunSpec, Mapping]) -> dict:
 def _simulate(spec: RunSpec) -> dict:
     # imported here so pool workers pay the import cost once per process,
     # not once per module import on the coordinator
+    from repro.invariants import engine as checks
     from repro.scenarios.factory import compose_run
     from repro.telemetry import tracer as trace
 
@@ -70,13 +72,21 @@ def _simulate(spec: RunSpec) -> dict:
         faults=spec.faults,
     )
     scenario = prepared.scenario
+    tracing = trace.env_enabled()
+    checker = checks.InvariantEngine() if checks.env_enabled() else None
     tracer = None
-    if trace.env_enabled():
+    if tracing or checker is not None:
+        # the invariant engine rides on the record stream, so REPRO_CHECK
+        # alone still installs a (writer-less, record-less) tracer
         tracer = trace.Tracer(scenario.sim)
         trace.install(tracer)
+    if checker is not None:
+        checks.install(checker)
     try:
         scenario.run(spec.horizon_s)
     finally:
+        if checker is not None:
+            checks.uninstall()
         if tracer is not None:
             trace.uninstall()
 
@@ -111,6 +121,9 @@ def _simulate(spec: RunSpec) -> dict:
         result["resilience"] = prepared.fault_injector.resilience_summary(
             spec.horizon_s
         )
-    if tracer is not None:
+    if tracing and tracer is not None:
         result["telemetry"] = tracer.summary()
+    if checker is not None:
+        checker.finish()
+        result["invariants"] = checker.summary()
     return result

@@ -304,6 +304,47 @@ def timeline_report(records: Sequence[dict], *, limit: int = 80) -> str:
     return "\n".join(lines)
 
 
+# -- invariant / replay violation report --------------------------------------
+
+def check_report(report: dict, *, limit: int = 10) -> str:
+    """Render an oracle violation report as a readable block.
+
+    Takes the JSON report produced by
+    :func:`repro.invariants.oracle.check_trace` (or loaded back from the
+    file ``repro-worksite check --report`` wrote).
+    """
+    lines = ["invariant check", "=" * 40]
+    lines.append(f"trace:           {report.get('trace', '?')} "
+                 f"({report.get('records', 0)} records)")
+    invariants = report.get("invariants", {})
+    lines.append(f"invariants:      {invariants.get('checked', 0)} checked, "
+                 f"{invariants.get('violations', 0)} violation(s)")
+    for name, count in sorted(invariants.get("by_invariant", {}).items()):
+        lines.append(f"  {name:<28} {count}")
+    for detail in invariants.get("details", [])[:limit]:
+        lines.append(f"  [{detail['invariant']}] t={detail['t']:.1f} s "
+                     f"i={detail['i']}: {detail['message']}")
+    shown = min(limit, len(invariants.get("details", [])))
+    if invariants.get("violations", 0) > shown:
+        lines.append(
+            f"  ... {invariants['violations'] - shown} more violation(s)"
+        )
+    replay = report.get("replay", {})
+    if replay.get("performed"):
+        lines.append(f"replay:          {replay.get('replayed', 0)} records "
+                     f"re-executed, {replay.get('divergences', 0)} "
+                     f"divergence(s)")
+        for div in replay.get("first_divergences", [])[:limit]:
+            lines.append(f"  diverged at record {div['i']}:")
+            lines.append(f"    recorded: {div['recorded']}")
+            lines.append(f"    replayed: {div['replayed']}")
+    else:
+        lines.append("replay:          skipped "
+                     f"({replay.get('reason', 'unknown')})")
+    lines.append(f"verdict:         {'OK' if report.get('ok') else 'FAIL'}")
+    return "\n".join(lines)
+
+
 def full_report(records: Sequence[dict]) -> str:
     """All reports concatenated (what the CLI prints).
 

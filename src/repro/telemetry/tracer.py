@@ -24,6 +24,7 @@ import os
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
+from repro.invariants import engine as checks
 from repro.telemetry.schema import SCHEMA_VERSION
 from repro.telemetry.writer import TraceWriter
 
@@ -131,6 +132,10 @@ class Tracer:
             self.records.append(record)
         if self.writer is not None:
             self.writer.write(record)
+        if checks.ACTIVE:
+            # checked after the record is written: the engine observes the
+            # stream and can never perturb it
+            checks.CHECKER.observe(record)
 
     def close(self) -> None:
         """Flush and close the attached writer (if any)."""

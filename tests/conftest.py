@@ -1,6 +1,27 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite.
+
+Hypothesis profiles (select with ``HYPOTHESIS_PROFILE``, default ``dev``):
+
+* ``dev`` — the local default: a moderate example budget, no deadline
+  (CI machines and laptops differ too much for wall-clock deadlines to
+  signal anything but noise).
+* ``ci`` — what ``.github/workflows/ci.yml`` runs: same budget, but
+  **derandomized** so CI failures are reproducible on the first rerun,
+  with ``print_blob`` on so a failing run prints the
+  ``@reproduce_failure`` blob to paste into a local test.
+* ``thorough`` — a deeper sweep for release qualification or when
+  hunting a flake locally: ``HYPOTHESIS_PROFILE=thorough pytest
+  tests/property``.
+
+Individual tests may still override single fields with ``@settings``;
+anything they don't set inherits the loaded profile (so ``ci`` keeps its
+derandomization even for tests that cap their own example count).
+"""
+
+import os
 
 import pytest
+from hypothesis import settings
 
 from repro.sim.engine import Simulator
 from repro.sim.events import EventLog
@@ -8,6 +29,17 @@ from repro.sim.rng import RngStreams
 from repro.sim.geometry import Vec2
 from repro.sim.terrain import Terrain
 from repro.sim.world import World, Zone
+
+settings.register_profile("dev", max_examples=50, deadline=None)
+settings.register_profile(
+    "ci",
+    max_examples=50,
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+)
+settings.register_profile("thorough", max_examples=300, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -57,3 +57,22 @@ class TestGoldenTrace:
             tmp_path / "trace.jsonl", arm_empty_schedule=False
         )
         assert hashlib.sha256(raw).hexdigest() == GOLDEN_SHA256
+
+    def test_online_invariant_checking_is_zero_perturbation(self, tmp_path):
+        # REPRO_CHECK rides on the record stream *after* each write, so
+        # checking the golden recipe must reproduce the golden bytes —
+        # and the run itself must satisfy every registered invariant
+        from repro.invariants import InvariantEngine
+        from repro.invariants import engine as checks
+
+        engine = InvariantEngine()
+        with checks.installed(engine):
+            raw = record_trace(
+                tmp_path / "trace.jsonl", arm_empty_schedule=True
+            )
+        engine.finish()
+        assert hashlib.sha256(raw).hexdigest() == GOLDEN_SHA256, (
+            "online invariant checking perturbed the golden trace"
+        )
+        assert engine.ok, engine.summary()
+        assert engine.record_count > 0

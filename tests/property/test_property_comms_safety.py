@@ -1,6 +1,6 @@
 """Property-based tests on the radio model, SL calculus and SOTIF accounting."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.comms.radio import (
     RadioConfig,
@@ -35,7 +35,6 @@ class TestRadioProperties:
     @given(d=st.floats(min_value=1.0, max_value=2000.0, allow_nan=False),
            interference=st.floats(min_value=-120.0, max_value=-30.0,
                                   allow_nan=False))
-    @settings(max_examples=50)
     def test_interference_never_improves_link(self, d, interference):
         clean = link_budget(RadioConfig(), d)
         noisy = link_budget(RadioConfig(), d, interference_dbm=interference)
@@ -51,7 +50,6 @@ class TestSlProperties:
     @given(deployed=measure_names, extra=st.sampled_from(
         [m.name for m in DEFAULT_CATALOG]
     ))
-    @settings(max_examples=50)
     def test_deploying_more_never_lowers_sl(self, deployed, extra):
         catalog = CountermeasureCatalog()
         for fr in FOUNDATIONAL_REQUIREMENTS:
@@ -62,7 +60,6 @@ class TestSlProperties:
     @given(deployed=measure_names,
            targets=st.lists(st.integers(min_value=0, max_value=4),
                             min_size=7, max_size=7))
-    @settings(max_examples=50)
     def test_gap_never_negative_and_bounded(self, deployed, targets):
         catalog = CountermeasureCatalog()
         vector = {
@@ -78,7 +75,6 @@ class TestSlProperties:
 
 class TestSotifProperties:
     @given(outcomes=st.lists(st.booleans(), min_size=1, max_size=60))
-    @settings(max_examples=50)
     def test_failure_rate_is_exact_fraction(self, outcomes):
         analysis = SotifAnalysis(min_exposures=1)
         for failed in outcomes:
@@ -87,7 +83,6 @@ class TestSotifProperties:
         assert condition.failure_rate == sum(outcomes) / len(outcomes)
 
     @given(n_good=st.integers(min_value=0, max_value=40))
-    @settings(max_examples=30)
     def test_more_clean_evidence_never_raises_residual(self, n_good):
         sparse = SotifAnalysis(min_exposures=5)
         rich = SotifAnalysis(min_exposures=5)

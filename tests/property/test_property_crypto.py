@@ -1,6 +1,6 @@
 """Property-based tests for the crypto substrate."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.comms.crypto.keys import KeyPair, sign, verify
 from repro.comms.crypto.numbers import TEST_GROUP
@@ -39,13 +39,11 @@ class TestStreamCipherProperties:
 
 class TestAeadProperties:
     @given(key=keys, nonce=nonces, data=payloads, aad=aads)
-    @settings(max_examples=50)
     def test_roundtrip(self, key, nonce, data, aad):
         assert aead_decrypt(key, nonce, aead_encrypt(key, nonce, data, aad), aad) == data
 
     @given(key=keys, nonce=nonces, data=payloads,
            flip=st.integers(min_value=0, max_value=10_000))
-    @settings(max_examples=50)
     def test_any_bit_flip_rejected(self, key, nonce, data, flip):
         sealed = bytearray(aead_encrypt(key, nonce, data))
         index = flip % len(sealed)
@@ -55,7 +53,6 @@ class TestAeadProperties:
             aead_decrypt(key, nonce, bytes(sealed))
 
     @given(key=keys, nonce=nonces, data=payloads)
-    @settings(max_examples=30)
     def test_truncation_rejected(self, key, nonce, data):
         sealed = aead_encrypt(key, nonce, data)
         with pytest.raises(AeadError):
@@ -65,14 +62,12 @@ class TestAeadProperties:
 class TestHkdfProperties:
     @given(ikm=st.binary(min_size=1, max_size=64),
            info_a=st.binary(max_size=16), info_b=st.binary(max_size=16))
-    @settings(max_examples=50)
     def test_domain_separation(self, ikm, info_a, info_b):
         if info_a != info_b:
             assert hkdf(ikm, info=info_a) != hkdf(ikm, info=info_b)
 
     @given(ikm=st.binary(min_size=1, max_size=64),
            length=st.integers(min_value=1, max_value=128))
-    @settings(max_examples=50)
     def test_output_length(self, ikm, length):
         assert len(hkdf(ikm, length=length)) == length
 
@@ -80,7 +75,6 @@ class TestHkdfProperties:
 class TestSchnorrProperties:
     @given(seed=st.binary(min_size=1, max_size=16),
            message=st.binary(min_size=0, max_size=128))
-    @settings(max_examples=20, deadline=None)
     def test_sign_verify_roundtrip(self, seed, message):
         keypair = KeyPair.generate(TEST_GROUP, seed=seed)
         assert verify(TEST_GROUP, keypair.public, message, sign(keypair, message))
@@ -88,7 +82,6 @@ class TestSchnorrProperties:
     @given(seed=st.binary(min_size=1, max_size=16),
            message=st.binary(min_size=1, max_size=64),
            corrupt=st.integers(min_value=0, max_value=511))
-    @settings(max_examples=20, deadline=None)
     def test_corrupted_message_rejected(self, seed, message, corrupt):
         keypair = KeyPair.generate(TEST_GROUP, seed=seed)
         signature = sign(keypair, message)

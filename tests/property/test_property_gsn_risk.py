@@ -1,6 +1,6 @@
 """Property-based tests on GSN well-formedness and the TARA invariants."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.assurance.gsn import GsnElement, GsnError, GsnGraph, GsnKind
 from repro.risk.impact import SfopImpact
@@ -14,7 +14,6 @@ import pytest
 class TestGsnProperties:
     @given(n_goals=st.integers(min_value=1, max_value=20),
            seed=st.integers(min_value=0, max_value=1000))
-    @settings(max_examples=40)
     def test_random_trees_never_cyclic_and_check_terminates(self, n_goals, seed):
         """Randomly grown legal trees always pass the cycle check and
         check() runs to completion."""
@@ -38,7 +37,6 @@ class TestGsnProperties:
         assert not any("unreachable" in f for f in findings)
 
     @given(seed=st.integers(min_value=0, max_value=500))
-    @settings(max_examples=30)
     def test_back_edges_always_rejected(self, seed):
         import random
 
@@ -84,7 +82,6 @@ class TestTaraProperties:
         st.tuples(impact_ints, impact_ints, impact_ints, impact_ints),
         min_size=1, max_size=6,
     ))
-    @settings(max_examples=30)
     def test_risk_values_in_range_and_consistent(self, impacts):
         item = build_item(impacts)
         result = Tara(item).assess()
@@ -100,7 +97,6 @@ class TestTaraProperties:
         st.tuples(impact_ints, impact_ints, impact_ints, impact_ints),
         min_size=1, max_size=5,
     ))
-    @settings(max_examples=20)
     def test_hardening_never_increases_any_risk(self, impacts):
         item = build_item(impacts)
         baseline = Tara(item).assess()
@@ -118,7 +114,6 @@ class TestTaraProperties:
         st.tuples(impact_ints, impact_ints, impact_ints, impact_ints),
         min_size=1, max_size=5,
     ))
-    @settings(max_examples=20)
     def test_treatment_residual_never_exceeds_initial(self, impacts):
         from repro.risk.treatment import plan_treatment
 

@@ -2,7 +2,7 @@
 
 import math
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.risk.feasibility import (
     AttackPotential,
@@ -63,7 +63,6 @@ class TestGeometryProperties:
 class TestEngineProperties:
     @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0,
                                      allow_nan=False), min_size=1, max_size=50))
-    @settings(max_examples=50)
     def test_events_observed_in_nondecreasing_time(self, delays):
         sim = Simulator()
         observed = []
@@ -75,7 +74,6 @@ class TestEngineProperties:
 
     @given(interval=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
            horizon=st.floats(min_value=1.0, max_value=100.0, allow_nan=False))
-    @settings(max_examples=50)
     def test_process_tick_count(self, interval, horizon):
         sim = Simulator()
         ticks = []

@@ -14,7 +14,7 @@ import math
 import struct
 from collections import deque
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.comms.crypto.primitives import (
     aead_decrypt,
@@ -134,7 +134,6 @@ class _Src:
 
 class TestStreamXorEquivalence:
     @given(key=keys, nonce=nonces, data=payloads)
-    @settings(max_examples=150)
     def test_bit_identical_to_byte_loop(self, key, nonce, data):
         assert stream_xor(key, nonce, data) == ref_stream_xor(key, nonce, data)
 
@@ -145,7 +144,6 @@ class TestStreamXorEquivalence:
         assert stream_xor(key, nonce, data) == ref_stream_xor(key, nonce, data)
 
     @given(key=keys, nonce=nonces, data=payloads)
-    @settings(max_examples=50)
     def test_cached_keystream_is_reused_consistently(self, key, nonce, data):
         # same (key, nonce) twice: second call hits the keystream cache and
         # must produce the identical transform
@@ -160,14 +158,12 @@ class TestStreamXorEquivalence:
 
 class TestSubkeyCacheEquivalence:
     @given(key=keys)
-    @settings(max_examples=50)
     def test_subkeys_match_direct_hkdf(self, key):
         enc, mac = derive_aead_subkeys(key)
         assert enc == hkdf_expand(key, b"aead-enc", 32)
         assert mac == hkdf_expand(key, b"aead-mac", 32)
 
     @given(key=keys, nonce=nonces, data=payloads, aad=aads)
-    @settings(max_examples=80)
     def test_sealed_bytes_match_per_call_derivation(self, key, nonce, data, aad):
         enc, mac = derive_aead_subkeys(key)
         assert (aead_encrypt_subkeys(enc, mac, nonce, data, aad)
@@ -175,7 +171,6 @@ class TestSubkeyCacheEquivalence:
 
     @given(send_key=keys, recv_key=keys,
            records=st.lists(st.tuples(payloads, aads), min_size=1, max_size=8))
-    @settings(max_examples=40)
     def test_channel_records_match_uncached_aead(self, send_key, recv_key,
                                                  records):
         alice = SecureChannel("a", "b", send_key, recv_key,
@@ -214,7 +209,6 @@ class TestInterferenceIndexEquivalence:
     @given(entries=tx_entries, qx=coords, qy=coords,
            channel=st.integers(min_value=1, max_value=3),
            lead=st.floats(min_value=0.0, max_value=3.0, allow_nan=False))
-    @settings(max_examples=100)
     def test_matches_list_rebuild_reference(self, entries, qx, qy, channel,
                                             lead):
         medium = make_medium()
@@ -235,7 +229,6 @@ class TestInterferenceIndexEquivalence:
         )
 
     @given(entries=tx_entries, qx=coords, qy=coords)
-    @settings(max_examples=30)
     def test_monotone_queries_stay_consistent(self, entries, qx, qy):
         # repeated queries at advancing times (the lazy expiry mutates the
         # deque) must keep matching the reference at every step
@@ -275,7 +268,6 @@ class TestUtilizationEquivalence:
     @given(raw=intervals_strategy,
            window_s=st.floats(min_value=0.1, max_value=300.0, allow_nan=False),
            lead=st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
-    @settings(max_examples=100)
     def test_matches_interval_sum_reference(self, raw, window_s, lead):
         medium = make_medium()
         intervals = sorted(
@@ -308,7 +300,6 @@ tree_strategy = st.lists(
 
 class TestCanopyMemoEquivalence:
     @given(trees=tree_strategy, ax=coords, ay=coords, bx=coords, by=coords)
-    @settings(max_examples=100, deadline=None)
     def test_matches_segment_reference(self, trees, ax, ay, bx, by):
         world = World(
             Terrain(100.0, 100.0),
@@ -321,7 +312,6 @@ class TestCanopyMemoEquivalence:
         assert world.canopy_blockage(a, b) == expected     # memoised
 
     @given(trees=tree_strategy, ax=coords, ay=coords, bx=coords, by=coords)
-    @settings(max_examples=30, deadline=None)
     def test_cache_invalidated_by_new_tree(self, trees, ax, ay, bx, by):
         world = World(
             Terrain(100.0, 100.0),

@@ -6,7 +6,7 @@ events, and the clock must land exactly on the horizon.  Hypothesis
 explores random event mixes the unit tests would never enumerate.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.sim.engine import Process, Simulator
 

@@ -91,3 +91,58 @@ class TestAggregateDigest:
         summary = summarize_group(records)
         assert "telemetry" not in summary
         assert "perf" not in summary
+
+
+class TestInvariantFolding:
+    def test_no_invariants_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        record = execute_run(tiny_spec())
+        assert record["status"] == "ok"
+        assert "invariants" not in record["result"]
+
+    def test_env_enabled_folds_summary_into_result(self, monkeypatch):
+        from repro.invariants import engine as checks
+
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        record = execute_run(tiny_spec())
+        assert record["status"] == "ok"
+        invariants = record["result"]["invariants"]
+        assert invariants["violations"] == 0
+        assert invariants["records"] > 0
+        assert invariants["checked"] >= 9
+        # checking alone must not fold a telemetry block in
+        assert "telemetry" not in record["result"]
+        # and the worker disarmed both guards on the way out
+        assert checks.ACTIVE is False and checks.CHECKER is None
+        assert trace.ACTIVE is False and trace.TRACER is None
+
+    def test_checking_does_not_change_the_result(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        baseline = execute_run(tiny_spec())["result"]
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        checked = dict(execute_run(tiny_spec())["result"])
+        checked.pop("invariants")
+        assert checked == baseline
+
+    def test_aggregate_summarizes_invariants(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        records = [execute_run(tiny_spec(seed=s)) for s in (1, 2)]
+        summary = summarize_group(records)
+        assert summary["invariants"] == {
+            "checked_runs": 2,
+            "violations": 0,
+            "runs_with_violations": 0,
+            "by_invariant": {},
+        }
+
+    def test_checker_uninstalled_after_failure(self, monkeypatch):
+        from repro.invariants import engine as checks
+
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        bad = RunSpec.single(
+            "rf_jamming", seed=1, horizon_s=90.0,
+            overrides={"no_such_knob": 1.0},
+        )
+        assert execute_run(bad)["status"] == "failed"
+        assert checks.ACTIVE is False

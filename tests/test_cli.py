@@ -218,3 +218,105 @@ class TestSweepCommand:
                      "--out", str(tmp_path / "s.jsonl"), "--quiet",
                      "--no-table"]) == 0
         assert "1 runs" in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    def _record(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.jsonl")
+        assert main([
+            "trace", "--seed", "11", "--minutes", "1",
+            "--campaign", "rf_jamming", "--start", "15", "--duration", "30",
+            "--out", out, "--no-report",
+        ]) == 0
+        capsys.readouterr()
+        return out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["check", "--trace", "t.jsonl"])
+        assert args.trace == "t.jsonl"
+        assert args.report is None
+        assert not args.no_replay
+        assert not args.selftest
+
+    def test_check_requires_a_target(self, capsys):
+        assert main(["check"]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_clean_trace_passes_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        out = self._record(tmp_path, capsys)
+        report_path = tmp_path / "report.json"
+        assert main(["check", "--trace", out,
+                     "--report", str(report_path)]) == 0
+        text = capsys.readouterr().out
+        assert "verdict" in text
+        report = json.loads(report_path.read_text())
+        assert report["ok"]
+        assert report["invariants"]["violations"] == 0
+        assert report["replay"]["performed"] is True
+        assert report["replay"]["divergences"] == 0
+
+    def test_tampered_trace_fails(self, tmp_path, capsys):
+        import json
+
+        out = self._record(tmp_path, capsys)
+        lines = open(out).read().splitlines()
+        record = json.loads(lines[10])
+        record["t"] = record["t"] - 100.0
+        lines[10] = json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        )
+        open(out, "w").write("\n".join(lines) + "\n")
+        assert main(["check", "--trace", out]) == 1
+        assert "clock.monotonic" in capsys.readouterr().out
+
+    def test_no_replay_skips_the_differential_pass(self, tmp_path, capsys):
+        out = self._record(tmp_path, capsys)
+        assert main(["check", "--trace", out, "--no-replay"]) == 0
+        assert "replay" in capsys.readouterr().out.lower()
+
+    def test_missing_trace_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["check", "--trace",
+                     str(tmp_path / "missing.jsonl")]) == 2
+        assert "check error" in capsys.readouterr().err
+
+    def test_selftest_detects_every_seeded_violation(self, capsys):
+        assert main(["check", "--selftest"]) == 0
+        text = capsys.readouterr().out
+        assert "10/10 seeded violations detected" in text
+        assert "MISSED" not in text
+
+    def test_check_leaves_guards_uninstalled(self, tmp_path, capsys):
+        from repro.invariants import engine as checks
+        from repro.telemetry import tracer as trace
+
+        out = self._record(tmp_path, capsys)
+        assert main(["check", "--trace", out]) == 0
+        assert trace.ACTIVE is False and trace.TRACER is None
+        assert checks.ACTIVE is False and checks.CHECKER is None
+
+
+class TestRunWithChecking:
+    def test_run_under_repro_check_reports_clean(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        assert main(["run", "--seed", "11", "--minutes", "1"]) == 0
+        assert "invariants:" in capsys.readouterr().out
+
+    def test_trace_under_repro_check_embeds_spec(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        import json
+
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        out = str(tmp_path / "trace.jsonl")
+        assert main([
+            "trace", "--seed", "11", "--minutes", "1",
+            "--campaign", "rf_jamming", "--start", "15", "--duration", "30",
+            "--out", out, "--no-report",
+        ]) == 0
+        assert "invariants:" in capsys.readouterr().out
+        meta = json.loads(open(out).readline())
+        assert meta["type"] == "trace.meta"
+        assert meta["spec"]["seed"] == 11
+        assert meta["spec"]["campaign"] == "rf_jamming"
