@@ -32,6 +32,14 @@ Subcommands
     runtime invariants offline, then re-execute the run from the embedded
     spec and diff the fresh stream record by record.  ``--selftest`` runs
     the mutation harness (seeded violations must all be flagged).
+``fuzz``
+    Coverage-guided scenario fuzzing: sample and mutate run specs, keep
+    the ones whose traces exhibit never-seen behavioural signatures,
+    delta-debug any oracle failure to a minimal repro, and write the
+    risk-heatmap report.  Fully deterministic per ``--seed``;
+    ``--resume`` continues a corpus directory on the identical
+    trajectory.  ``--selftest`` proves the shrinker preserves the
+    triggering invariant on injected violations.
 
 Setting ``REPRO_CHECK=1`` additionally checks the invariants *online*
 during ``run`` and ``trace`` (and inside sweep workers, whose records
@@ -56,6 +64,10 @@ Examples::
     repro-worksite trace --analyze out/trace.jsonl
     repro-worksite check --trace out/trace.jsonl --report out/check.json
     repro-worksite check --selftest
+    repro-worksite fuzz --seed 7 --iterations 50 --corpus out/fuzz
+    repro-worksite fuzz --seed 7 --iterations 25 --corpus out/fuzz --resume
+    repro-worksite fuzz --time-budget 60 --corpus out/fuzz-tb
+    repro-worksite fuzz --selftest
     REPRO_CHECK=1 repro-worksite run --minutes 5
 """
 
@@ -349,6 +361,48 @@ def cmd_check(args) -> int:
     if args.report:
         print(f"report:           {write_report(report, args.report)}")
     return 0 if report["ok"] else 1
+
+
+def cmd_fuzz(args) -> int:
+    from repro.fuzz.search import run_fuzz
+    from repro.telemetry.analysis import fuzz_report_text
+
+    if args.selftest:
+        from repro.fuzz.selftest import run_shrink_selftest
+
+        log = (lambda line: None) if args.quiet \
+            else lambda line: print(line, flush=True)
+        report = run_shrink_selftest(log=log)
+        for case in report["cases"]:
+            ok = case["preserved"] and case["reduced"]
+            print(f"  {case['name']:<20} -> "
+                  f"{case['expected_invariant']:<28} "
+                  f"size {case['original']['size']} -> "
+                  f"{case['shrunk']['size']} "
+                  f"{'ok' if ok else 'FAILED'}")
+        print(f"shrink self-test: {'OK' if report['ok'] else 'FAIL'} "
+              f"({len(report['cases'])} injected violations)")
+        return 0 if report["ok"] else 1
+
+    log = (lambda line: None) if args.quiet \
+        else lambda line: print(line, flush=True)
+    try:
+        report = run_fuzz(
+            args.corpus,
+            args.seed,
+            iterations=args.iterations,
+            time_budget_s=args.time_budget,
+            resume=args.resume,
+            log=log,
+        )
+    except (FileExistsError, ValueError) as exc:
+        print(f"fuzz error: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(fuzz_report_text(report))
+    print(f"corpus:           {args.corpus}")
+    totals = report["totals"]
+    return 1 if totals["failures"] or totals["unshrinkable"] else 0
 
 
 def cmd_attack(args) -> int:
@@ -752,6 +806,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the mutation self-test: seed known "
                               "violations, assert each is flagged")
     check_p.set_defaults(func=cmd_check)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="coverage-guided scenario fuzzing with the invariant oracle",
+    )
+    fuzz_p.add_argument("--seed", type=int, default=42,
+                        help="master seed; the whole session is a pure "
+                             "function of it")
+    fuzz_p.add_argument("--iterations", type=int, default=None,
+                        help="iteration budget (default 25 when no "
+                             "--time-budget is given)")
+    fuzz_p.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-time budget; stops after the current "
+                             "iteration once exceeded")
+    fuzz_p.add_argument("--corpus", default="out/fuzz", metavar="DIR",
+                        help="corpus directory (corpus.jsonl, coverage.json, "
+                             "state.json, failures/, report.json)")
+    fuzz_p.add_argument("--resume", action="store_true",
+                        help="continue an existing corpus directory "
+                             "(same seed required)")
+    fuzz_p.add_argument("--selftest", action="store_true",
+                        help="shrink injected-violation specs and assert "
+                             "each minimal repro still fails the same "
+                             "invariant")
+    fuzz_p.add_argument("--quiet", action="store_true",
+                        help="suppress per-iteration progress lines")
+    fuzz_p.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -200,7 +200,52 @@ def _orphan_alert(records: List[dict]) -> MutationResult:
     return _renumber(records), 0.0
 
 
-#: (name, expected invariant, mutator) — one per registered invariant
+# -- mutations discovered through fuzzer shrink output ------------------------
+# These three came out of delta-debugging seeded failures with
+# ``repro.fuzz.shrink``: each is the minimal record-stream edit the
+# shrinker converged on for its invariant.  They are shared with
+# :mod:`repro.fuzz.selftest`, which re-injects them through the fuzzer's
+# evaluator and proves shrinking a failing spec preserves the triggering
+# invariant end-to-end.
+
+def _nonce_regression(records: List[dict]) -> MutationResult:
+    index = _find(
+        records,
+        lambda r: (r.get("type") == "record.seal"
+                   and r.get("profile") != "plaintext"
+                   and isinstance(r.get("seq"), int) and r["seq"] >= 3),
+        "a protected record.seal with seq >= 3",
+    )
+    # seq-1 was the previous seal on this direction: an exact re-seal of
+    # an already-used nonce, the sharpest form of reuse
+    records[index]["seq"] -= 1
+    return records, records[index]["t"]
+
+
+def _broken_mode_chain(records: List[dict]) -> MutationResult:
+    index = _find(
+        records,
+        lambda r: (r.get("type") == "mode.transition"
+                   and r.get("prev") != "recovering"),
+        "a mode.transition whose prev is not 'recovering'",
+    )
+    # the claimed prev no longer chains onto the machine's observed mode
+    records[index]["prev"] = "recovering"
+    return records, records[index]["t"]
+
+
+def _latency_mismatch(records: List[dict]) -> MutationResult:
+    index = _find(
+        records,
+        lambda r: (r.get("type") == "ids.alert" and r.get("in_window")
+                   and r.get("latency_s") is not None),
+        "an in-window ids.alert with a latency",
+    )
+    records[index]["latency_s"] = round(records[index]["latency_s"] + 7.0, 6)
+    return records, records[index]["t"]
+
+
+#: (name, expected invariant, mutator) — at least one per registered invariant
 MUTATIONS: List[Tuple[str, str, Mutator]] = [
     ("skipped_nonce", "crypto.nonce_sequence", _skipped_nonce),
     ("replayed_record", "crypto.replay_window", _replayed_record),
@@ -212,6 +257,9 @@ MUTATIONS: List[Tuple[str, str, Mutator]] = [
     ("clock_regression", "clock.monotonic", _clock_regression),
     ("dropped_record", "clock.record_index", _dropped_record),
     ("orphan_alert", "ids.alert_attribution", _orphan_alert),
+    ("nonce_regression", "crypto.nonce_sequence", _nonce_regression),
+    ("broken_mode_chain", "modes.transition_legality", _broken_mode_chain),
+    ("latency_mismatch", "ids.alert_attribution", _latency_mismatch),
 ]
 
 

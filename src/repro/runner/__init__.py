@@ -26,7 +26,12 @@ Typical use::
 """
 
 from repro.runner.aggregate import aggregate_rows, aggregate_table, group_records
-from repro.runner.engine import SweepReport, SweepRunner, run_sweep
+from repro.runner.engine import (
+    SweepReport,
+    SweepRunner,
+    UncheckedResultWarning,
+    run_sweep,
+)
 from repro.runner.spec import (
     BASELINE,
     RunSpec,
@@ -44,6 +49,7 @@ __all__ = [
     "SweepSpec",
     "SweepReport",
     "SweepRunner",
+    "UncheckedResultWarning",
     "ResultStore",
     "aggregate_rows",
     "aggregate_table",

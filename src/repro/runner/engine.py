@@ -17,6 +17,7 @@ produce identical result sets.
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -26,6 +27,18 @@ from repro.runner.store import ResultStore
 from repro.runner.worker import execute_run
 
 ProgressFn = Callable[[str], None]
+
+
+class UncheckedResultWarning(UserWarning):
+    """A resumed cache hit carries no ``result.invariants`` block.
+
+    Raised (as a warning) when ``REPRO_CHECK=1`` asks for invariant-checked
+    results but a spec-hash cache hit predates online checking — e.g. a
+    store written before checking existed, or without ``REPRO_CHECK``.
+    The cached record is still used; the warning keeps the mix visible so
+    checked corpora (sweep stores feeding fuzz seeds, CI baselines) are
+    never silently diluted with unchecked results.
+    """
 
 
 @dataclass
@@ -95,6 +108,8 @@ class SweepRunner:
                 for spec in ordered if spec.key in completed
             }
         pending = [spec for spec in ordered if spec.key not in cached]
+        if cached:
+            self._warn_unchecked(cached)
 
         report = SweepReport(total=len(ordered), cached=len(cached))
         by_key: Dict[str, dict] = dict(cached)
@@ -119,6 +134,28 @@ class SweepRunner:
         )
         report.wall_s = round(time.perf_counter() - started, 3)
         return report
+
+    def _warn_unchecked(self, cached: Dict[str, dict]) -> None:
+        """Flag resumed cache hits that predate online invariant checking."""
+        from repro.invariants import engine as checks
+
+        if not checks.env_enabled():
+            return
+        stale = sorted(
+            key for key, record in cached.items()
+            if record.get("status") == "ok"
+            and "invariants" not in (record.get("result") or {})
+        )
+        if not stale:
+            return
+        shown = ", ".join(stale[:5]) + (" ..." if len(stale) > 5 else "")
+        warnings.warn(
+            f"{len(stale)} resumed cache hit(s) carry no invariants block "
+            f"(store written without REPRO_CHECK?): {shown}; re-run without "
+            f"--resume to refresh them",
+            UncheckedResultWarning,
+            stacklevel=3,
+        )
 
     # -- execution backends ------------------------------------------------
 

@@ -345,6 +345,97 @@ def check_report(report: dict, *, limit: int = 10) -> str:
     return "\n".join(lines)
 
 
+# -- fuzzing risk heatmap -----------------------------------------------------
+
+def _risk_score(cell: Dict[str, int]) -> float:
+    """Deterministic risk ranking for one heatmap cell.
+
+    Failures dominate (they are oracle hits), invariant violations and
+    fresh coverage follow: a cell that keeps surfacing new behaviour is
+    under-explored and therefore riskier than a quiet one.
+    """
+    return round(
+        10.0 * cell.get("failures", 0)
+        + 2.0 * cell.get("violations", 0)
+        + 1.0 * cell.get("new_signatures", 0),
+        6,
+    )
+
+
+def fuzz_report(coverage: dict, heatmap: Dict[str, dict],
+                totals: dict) -> dict:
+    """The JSON risk-heatmap report over a fuzzing session's explored space.
+
+    Takes plain data (the persisted coverage-map dict, the accumulated
+    heatmap cells keyed ``<campaign-label>|<fault-kinds>``, and the
+    session totals) so it runs equally on a live session or on files
+    loaded back from a corpus directory.
+    """
+    by_family: Dict[str, int] = {}
+    for signature in coverage.get("signatures", {}):
+        family = signature.split(":", 1)[0]
+        by_family[family] = by_family.get(family, 0) + 1
+    cells = []
+    for key, cell in heatmap.items():
+        campaign, _, faults = key.partition("|")
+        cells.append({
+            "campaign": campaign,
+            "faults": faults,
+            "runs": cell.get("runs", 0),
+            "new_signatures": cell.get("new_signatures", 0),
+            "violations": cell.get("violations", 0),
+            "failures": cell.get("failures", 0),
+            "risk": _risk_score(cell),
+        })
+    cells.sort(key=lambda c: (-c["risk"], c["campaign"], c["faults"]))
+    return {
+        "schema": 1,
+        "totals": dict(sorted(totals.items())),
+        "coverage": {
+            "signatures": len(coverage.get("signatures", {})),
+            "by_family": dict(sorted(by_family.items())),
+        },
+        "heatmap": cells,
+    }
+
+
+def fuzz_report_text(report: dict, *, limit: int = 15) -> str:
+    """Render a fuzz report as the summary block the CLI prints."""
+    totals = report.get("totals", {})
+    coverage = report.get("coverage", {})
+    lines = ["fuzzing session", "=" * 40]
+    lines.append(f"iterations:      {totals.get('iterations', 0)}")
+    lines.append(f"corpus entries:  {totals.get('corpus_entries', 0)}")
+    lines.append(
+        f"signatures:      {coverage.get('signatures', 0)} "
+        f"({totals.get('new_beyond_seed', 0)} beyond seed corpus)"
+    )
+    for family, count in coverage.get("by_family", {}).items():
+        lines.append(f"  {family:<14} {count}")
+    lines.append(
+        f"failures:        {totals.get('failures', 0)} "
+        f"({totals.get('unshrinkable', 0)} unshrinkable)"
+    )
+    cells = report.get("heatmap", [])
+    if cells:
+        table = Table(
+            ["campaign", "faults", "runs", "new sigs", "violations",
+             "failures", "risk"],
+            title="risk heatmap (explored space)",
+        )
+        for cell in cells[:limit]:
+            table.add_row(
+                cell["campaign"], cell["faults"], cell["runs"],
+                cell["new_signatures"], cell["violations"],
+                cell["failures"], cell["risk"],
+            )
+        lines.append("")
+        lines.append(table.render())
+        if len(cells) > limit:
+            lines.append(f"... {len(cells) - limit} more cells")
+    return "\n".join(lines)
+
+
 def full_report(records: Sequence[dict]) -> str:
     """All reports concatenated (what the CLI prints).
 

@@ -41,6 +41,25 @@ settings.register_profile(
 settings.register_profile("thorough", max_examples=300, deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
+#: the profile under which ``nightly``-marked tests actually run
+_NIGHTLY_PROFILE = "thorough"
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``nightly``-marked tests outside the ``thorough`` profile.
+
+    The nightly tier (deep fuzzer property sweeps) is too slow for the
+    tier-1 loop; ``HYPOTHESIS_PROFILE=thorough`` opts in.
+    """
+    if os.environ.get("HYPOTHESIS_PROFILE") == _NIGHTLY_PROFILE:
+        return
+    skip = pytest.mark.skip(
+        reason=f"nightly tier: run with HYPOTHESIS_PROFILE={_NIGHTLY_PROFILE}"
+    )
+    for item in items:
+        if "nightly" in item.keywords:
+            item.add_marker(skip)
+
 
 @pytest.fixture
 def sim():

@@ -11,37 +11,10 @@ machine in DEGRADED/RECOVERING forever or crash the kernel.
 from hypothesis import given, settings, strategies as st
 
 from repro.faults import FaultInjector, FaultSchedule
-from repro.faults.spec import FAULT_KINDS, FaultSpec
 from repro.faults.modes import VehicleMode
 from repro.scenarios.worksite import ScenarioConfig, build_worksite
 
-#: targets resolvable on the default worksite, per kind
-_TARGETS = {
-    "node_crash": ["drone", "forwarder"],
-    "radio_brownout": ["drone", "forwarder", "control"],
-    "sensor_freeze": ["cam-forwarder", "cam-drone", "us-forwarder"],
-    "sensor_dropout": ["cam-forwarder", "us-forwarder"],
-    "sensor_bias": ["gnss-forwarder", "cam-forwarder"],
-    "clock_drift": ["drone", "forwarder"],
-    "packet_corruption": ["medium"],
-}
-
-
-@st.composite
-def fault_specs(draw):
-    kind = draw(st.sampled_from(FAULT_KINDS))
-    target = draw(st.sampled_from(_TARGETS[kind]))
-    start = draw(st.floats(min_value=5.0, max_value=60.0))
-    duration = draw(st.floats(min_value=1.0, max_value=40.0))
-    params = {}
-    if kind == "packet_corruption":
-        params["probability"] = draw(
-            st.floats(min_value=0.05, max_value=0.5)
-        )
-    if kind == "radio_brownout":
-        params["sag_db"] = draw(st.floats(min_value=3.0, max_value=20.0))
-    return FaultSpec.make(kind, target, start, duration, params)
-
+from tests.strategies import fault_specs
 
 schedules = st.lists(fault_specs(), min_size=1, max_size=4)
 

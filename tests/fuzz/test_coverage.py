@@ -1,0 +1,91 @@
+"""Coverage signatures and the coverage map: extraction, novelty, persistence."""
+
+from repro.fuzz.coverage import (
+    FAMILIES,
+    CoverageMap,
+    family_of,
+    signatures_from_records,
+)
+
+#: one synthetic record per signature family, plus noise the extractor ignores
+RECORDS = [
+    {"type": "meta", "seed": 1},
+    {"type": "frame.drop", "cause": "retry_exhausted"},
+    {"type": "record.drop", "cause": "auth_fail"},
+    {"type": "mode.transition", "machine": "forwarder",
+     "prev": "nominal", "mode": "degraded"},
+    {"type": "ids.alert", "detector": "rf", "alert_type": "jamming",
+     "in_window": True},
+    {"type": "ids.alert", "detector": "rf", "alert_type": "jamming",
+     "in_window": False},
+    {"type": "service.down", "service": "video", "cause": "link_loss"},
+    {"type": "service.up", "service": "video"},
+    {"type": "link.deauth", "accepted": False},
+    {"type": "safety.intervention", "action": "safe_stop"},
+    {"type": "heartbeat", "t": 1.0},
+]
+
+EXPECTED = sorted([
+    "drop:frame:retry_exhausted",
+    "drop:record:auth_fail",
+    "mode:forwarder:nominal->degraded",
+    "ids:rf:jamming:in",
+    "ids:rf:jamming:out",
+    "service:video:down:link_loss",
+    "service:video:up",
+    "deauth:rejected",
+    "safety:safe_stop",
+])
+
+
+class TestSignatureExtraction:
+    def test_every_family_is_extracted(self):
+        assert signatures_from_records(RECORDS) == EXPECTED
+
+    def test_extraction_is_a_set_not_a_bag(self):
+        assert signatures_from_records(RECORDS * 3) == EXPECTED
+
+    def test_empty_stream_has_no_signatures(self):
+        assert signatures_from_records([]) == []
+
+    def test_every_expected_family_prefix_is_registered(self):
+        assert {family_of(s) for s in EXPECTED} == set(FAMILIES)
+
+
+class TestCoverageMap:
+    def test_first_observation_is_new_second_is_not(self):
+        cover = CoverageMap()
+        assert cover.observe(EXPECTED, "seed:0") == EXPECTED
+        assert cover.observe(EXPECTED, "iter:1") == []
+        assert len(cover) == len(EXPECTED)
+
+    def test_novelty_is_per_signature(self):
+        cover = CoverageMap()
+        cover.observe(["deauth:rejected"], "seed:0")
+        new = cover.observe(["deauth:rejected", "deauth:accepted"], "iter:3")
+        assert new == ["deauth:accepted"]
+
+    def test_first_origin_and_counts_are_tracked(self):
+        cover = CoverageMap()
+        cover.observe(["safety:safe_stop"], "seed:0")
+        cover.observe(["safety:safe_stop"], "iter:1")
+        entry = cover.to_dict()["signatures"]["safety:safe_stop"]
+        assert entry == {"count": 2, "origin": "seed:0"}
+
+    def test_by_family_counts_distinct_signatures(self):
+        cover = CoverageMap()
+        cover.observe(EXPECTED, "seed:0")
+        by_family = cover.by_family()
+        assert by_family["drop"] == 2
+        assert by_family["ids"] == 2
+        assert sum(by_family.values()) == len(EXPECTED)
+
+    def test_dict_round_trip_preserves_the_map(self):
+        cover = CoverageMap()
+        cover.observe(EXPECTED, "seed:0")
+        cover.observe(EXPECTED[:3], "iter:2")
+        restored = CoverageMap.from_dict(cover.to_dict())
+        assert restored.to_dict() == cover.to_dict()
+        assert restored.signatures() == cover.signatures()
+        # a restored map keeps rejecting already-seen signatures
+        assert restored.observe(EXPECTED[:1], "iter:9") == []

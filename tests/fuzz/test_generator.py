@@ -1,0 +1,104 @@
+"""The scenario generator: determinism and the valid-spec envelope.
+
+Every sampled or mutated spec must compose on the default worksite —
+registered campaign names, resolvable fault targets, no drone-resident
+faults when the drone is disabled — and both operations must be pure
+functions of the ``random.Random`` passed in (the property the search
+loop's derived-seed determinism rests on).
+"""
+
+from random import Random
+
+import pytest
+
+from repro.fuzz.generator import (
+    FAULT_TARGETS,
+    GeneratorConfig,
+    ScenarioGenerator,
+    drone_disabled,
+    spec_with_plan,
+)
+from repro.runner.spec import BASELINE, RunSpec
+
+from tests.strategies import assert_valid_spec
+
+
+def assert_valid(spec: RunSpec) -> None:
+    """The shared envelope check, plus the generator's own horizon menu."""
+    assert_valid_spec(spec)
+    assert spec.horizon_s in GeneratorConfig().horizons_s
+
+
+@pytest.fixture()
+def generator():
+    return ScenarioGenerator()
+
+
+class TestSampling:
+    def test_same_rng_seed_same_spec(self, generator):
+        assert generator.sample(Random(11)) == generator.sample(Random(11))
+
+    def test_different_rng_seeds_diverge(self, generator):
+        specs = {generator.sample(Random(n)).key for n in range(20)}
+        assert len(specs) > 1
+
+    def test_samples_stay_in_the_envelope(self, generator):
+        for n in range(60):
+            assert_valid(generator.sample(Random(n)))
+
+    def test_samples_round_trip_through_dict(self, generator):
+        for n in range(20):
+            spec = generator.sample(Random(n))
+            assert RunSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestMutation:
+    def test_same_rng_seed_same_mutation(self, generator):
+        spec = generator.sample(Random(3))
+        assert generator.mutate(Random(7), spec) == \
+            generator.mutate(Random(7), spec)
+
+    def test_mutation_always_changes_the_spec(self, generator):
+        spec = generator.sample(Random(3))
+        for n in range(40):
+            assert generator.mutate(Random(n), spec) != spec
+
+    def test_mutations_stay_in_the_envelope(self, generator):
+        spec = generator.sample(Random(5))
+        for n in range(60):
+            spec = generator.mutate(Random(n), spec)
+            assert_valid(spec)
+
+    def test_disabling_the_drone_strips_drone_faults(self, generator):
+        # walk mutations until one disables the drone; the fault list
+        # must be consistent at every step (assert_valid covers it), and
+        # at least one walk must actually hit the disabled state
+        hit = False
+        spec = generator.sample(Random(1))
+        for n in range(300):
+            spec = generator.mutate(Random(n), spec)
+            assert_valid(spec)
+            hit = hit or drone_disabled(spec)
+        assert hit
+
+    def test_reseed_fallback_on_saturated_spec(self, generator):
+        # a spec where only reseed can apply still mutates
+        spec = RunSpec(seed=1, horizon_s=60.0)
+        config = GeneratorConfig(horizons_s=(60.0,))
+        saturated = ScenarioGenerator(config)
+        mutated = saturated.mutate(Random(2), spec)
+        assert mutated != spec
+        assert_valid(mutated)
+
+
+class TestHelpers:
+    def test_spec_with_plan_relabels_the_campaign(self):
+        spec = RunSpec(seed=1, horizon_s=60.0)
+        stepped = spec_with_plan(spec, (("rf_jamming", 10.0, 20.0),))
+        assert stepped.campaign == "rf_jamming"
+        assert spec_with_plan(stepped, ()).campaign == BASELINE
+
+    def test_fault_targets_cover_every_registered_kind(self):
+        from repro.faults.spec import FAULT_KINDS
+
+        assert sorted(FAULT_TARGETS) == sorted(FAULT_KINDS)

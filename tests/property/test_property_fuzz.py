@@ -1,0 +1,65 @@
+"""Property tests over the fuzzer's input model.
+
+Fast tier: whatever spec ``tests.strategies.run_specs`` produces — the
+same envelope the fuzzer's generator samples — must survive the dict
+round-trip the corpus relies on, and structural mutation must keep it
+inside the envelope.  The nightly tier (``HYPOTHESIS_PROFILE=thorough``)
+additionally *executes* generated specs end-to-end through the
+evaluator: every valid spec must run deadlock-free and invariant-clean.
+"""
+
+from random import Random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz.generator import ScenarioGenerator
+from repro.runner.spec import RunSpec
+
+from tests.strategies import assert_valid_spec, run_specs, seeds
+
+
+class TestSpecModel:
+    @given(spec=run_specs())
+    def test_every_spec_survives_the_dict_round_trip(self, spec):
+        restored = RunSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.key == spec.key
+
+    @given(spec=run_specs(), rng_seed=seeds)
+    @settings(max_examples=30)
+    def test_mutating_any_valid_spec_stays_valid(self, spec, rng_seed):
+        generator = ScenarioGenerator()
+        mutated = generator.mutate(Random(rng_seed), spec)
+        assert mutated != spec
+        assert_valid_spec(mutated)
+
+    @given(rng_seed=seeds)
+    @settings(max_examples=30)
+    def test_sampling_from_any_rng_seed_stays_valid(self, rng_seed):
+        assert_valid_spec(ScenarioGenerator().sample(Random(rng_seed)))
+
+
+@pytest.mark.nightly
+class TestEvaluationNightly:
+    """Each example is a full simulated run — nightly tier only."""
+
+    @given(spec=run_specs(max_plan_steps=1, max_faults=1))
+    @settings(max_examples=10, deadline=None)
+    def test_every_valid_spec_evaluates_clean(self, spec):
+        from repro.fuzz.evaluate import evaluate_spec, failure_id
+
+        result = evaluate_spec(spec)
+        assert result["status"] == "ok", result["error"]
+        assert failure_id(result) is None
+        assert result["invariants"]["violations"] == 0
+
+    @given(rng_seed=st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=10, deadline=None)
+    def test_every_generator_sample_evaluates_clean(self, rng_seed):
+        from repro.fuzz.evaluate import evaluate_spec, failure_id
+
+        spec = ScenarioGenerator().sample(Random(rng_seed))
+        result = evaluate_spec(spec)
+        assert result["status"] == "ok", result["error"]
+        assert failure_id(result) is None

@@ -5,9 +5,17 @@ All sweeps here use a deliberately tiny worksite (small world, one worker,
 no drone, short horizon) so each cell simulates in well under a second.
 """
 
+import warnings
+
 import pytest
 
-from repro.runner import ResultStore, RunSpec, SweepRunner, run_sweep
+from repro.runner import (
+    ResultStore,
+    RunSpec,
+    SweepRunner,
+    UncheckedResultWarning,
+    run_sweep,
+)
 
 TINY = {
     "width": 160.0, "height": 160.0, "tree_density": 0.01,
@@ -70,6 +78,57 @@ class TestCaching:
         report = run_sweep([tiny_spec(seed=1), tiny_spec(seed=1)], jobs=1)
         assert report.total == 1
         assert report.executed == 1
+
+
+class TestResumeWarning:
+    """``--resume`` under ``REPRO_CHECK=1`` must flag unchecked cache hits.
+
+    A store written without online invariant checking serves records whose
+    ``result`` has no ``invariants`` block; silently mixing those into a
+    checked sweep would dilute the corpus, so resume warns (but still uses
+    the cache).
+    """
+
+    def test_unchecked_cache_hits_warn_under_repro_check(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        spec = tiny_spec(seed=1)
+        SweepRunner(jobs=1, store=store).run([spec])
+
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        with pytest.warns(UncheckedResultWarning, match="no invariants"):
+            report = SweepRunner(jobs=1, store=store).run(
+                [spec], resume=True
+            )
+        # the warning flags the mix; the cached record is still served
+        assert (report.executed, report.cached) == (0, 1)
+
+    def test_no_warning_without_repro_check(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        spec = tiny_spec(seed=1)
+        SweepRunner(jobs=1, store=store).run([spec])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UncheckedResultWarning)
+            SweepRunner(jobs=1, store=store).run([spec], resume=True)
+
+    def test_no_warning_when_the_store_was_checked(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        spec = tiny_spec(seed=1)
+        first = SweepRunner(jobs=1, store=store).run([spec])
+        (record,) = first.records
+        assert "invariants" in record["result"]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UncheckedResultWarning)
+            report = SweepRunner(jobs=1, store=store).run(
+                [spec], resume=True
+            )
+        assert report.cached == 1
 
 
 class TestFailureIsolation:

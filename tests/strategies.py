@@ -1,0 +1,184 @@
+"""Shared Hypothesis strategies over the scenario/fault/run-spec domain.
+
+One place defines what "a valid input" means for property tests: fault
+specs whose targets resolve on the default worksite, attack plans built
+from registered campaign names, and complete :class:`RunSpec` values
+inside the same envelope the coverage-guided fuzzer samples from
+(:mod:`repro.fuzz.generator` — its ``FAULT_TARGETS`` table is reused
+here so the two input models cannot drift apart).
+
+Used by ``tests/faults/test_property.py``, the fuzzer unit/property
+tiers, and any future property module that needs scenario inputs.
+:func:`assert_valid_spec` is the matching envelope checker — the
+assertion side of the same contract the strategies generate against.
+"""
+
+from hypothesis import strategies as st
+
+from repro.faults.spec import FAULT_KINDS, FaultSchedule, FaultSpec
+from repro.fuzz.generator import FAULT_TARGETS
+from repro.runner.spec import RunSpec
+from repro.scenarios.campaigns import CAMPAIGN_BUILDERS
+from repro.scenarios.factory import IDS_FAMILIES, PROFILES
+
+#: fault targets that live on the drone (invalid when the drone is disabled)
+DRONE_TARGETS = ("drone", "cam-drone")
+
+#: scenario seeds kept small so shrunk examples stay readable
+seeds = st.integers(min_value=0, max_value=2 ** 16)
+
+#: registered attack campaign names
+campaign_names = st.sampled_from(sorted(CAMPAIGN_BUILDERS))
+
+#: defence profiles / IDS detector families accepted by the factory
+profiles = st.sampled_from(PROFILES)
+ids_families = st.sampled_from(IDS_FAMILIES)
+
+#: bounded timing values (attack/fault starts and durations)
+starts = st.floats(min_value=5.0, max_value=60.0,
+                   allow_nan=False, allow_infinity=False)
+durations = st.floats(min_value=1.0, max_value=40.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def fault_specs(draw, no_drone: bool = False) -> FaultSpec:
+    """One fault whose kind/target/params resolve on the default worksite."""
+    kind = draw(st.sampled_from(FAULT_KINDS))
+    targets = [
+        t for t in FAULT_TARGETS[kind]
+        if not (no_drone and t in DRONE_TARGETS)
+    ]
+    if not targets:  # drone-only kind under no_drone: fall back
+        kind = "packet_corruption"
+        targets = list(FAULT_TARGETS[kind])
+    target = draw(st.sampled_from(targets))
+    start = draw(starts)
+    duration = draw(durations)
+    params = {}
+    if kind == "packet_corruption":
+        params["probability"] = draw(
+            st.floats(min_value=0.05, max_value=0.5)
+        )
+    if kind == "radio_brownout":
+        params["sag_db"] = draw(st.floats(min_value=3.0, max_value=20.0))
+    if kind == "sensor_bias":
+        params["bias_east_m"] = draw(
+            st.floats(min_value=-10.0, max_value=10.0)
+        )
+        params["bias_north_m"] = draw(
+            st.floats(min_value=-10.0, max_value=10.0)
+        )
+    if kind == "clock_drift":
+        params["offset_s"] = draw(st.floats(min_value=0.0, max_value=1.0))
+        params["rate"] = draw(st.floats(min_value=0.0, max_value=0.005))
+    return FaultSpec.make(kind, target, start, duration, params)
+
+
+@st.composite
+def fault_schedules(draw, min_size: int = 1, max_size: int = 4,
+                    no_drone: bool = False) -> FaultSchedule:
+    """A bounded fault schedule valid on the default worksite."""
+    faults = draw(st.lists(
+        fault_specs(no_drone=no_drone),
+        min_size=min_size, max_size=max_size,
+    ))
+    return FaultSchedule(faults=tuple(faults))
+
+
+@st.composite
+def plan_steps(draw):
+    """One ``(campaign, start, duration)`` attack-plan step."""
+    name = draw(campaign_names)
+    start = draw(starts)
+    duration = draw(st.one_of(st.none(), durations))
+    return (name, start, duration)
+
+
+#: scenario override values the factory accepts, keyed by override name
+_OVERRIDE_VALUES = {
+    "n_workers": st.integers(min_value=1, max_value=12),
+    "drone_enabled": st.booleans(),
+    "tree_density": st.floats(min_value=0.005, max_value=0.05),
+    "weather_initial": st.sampled_from(
+        ("clear", "overcast", "rain", "heavy_rain", "fog", "snow")
+    ),
+    "worker_approach_rate_per_h": st.floats(min_value=0.5, max_value=6.0),
+    "pile_volume_m3": st.floats(min_value=40.0, max_value=200.0),
+}
+
+
+@st.composite
+def scenario_overrides(draw, max_keys: int = 2) -> dict:
+    """A consistent subset of the factory's overridable scenario knobs."""
+    keys = draw(st.lists(
+        st.sampled_from(sorted(_OVERRIDE_VALUES)),
+        max_size=max_keys, unique=True,
+    ))
+    return {key: draw(_OVERRIDE_VALUES[key]) for key in keys}
+
+
+@st.composite
+def run_specs(draw, max_plan_steps: int = 2, max_faults: int = 3) -> RunSpec:
+    """A complete valid RunSpec: plan + faults + overrides all consistent.
+
+    The same validity envelope the fuzzer's :class:`ScenarioGenerator`
+    samples — in particular, drone-resident fault targets are never drawn
+    for a spec that disables the drone.
+    """
+    overrides = draw(scenario_overrides())
+    no_drone = overrides.get("drone_enabled") is False
+    # campaign names never repeat within a plan: builders hard-code their
+    # attack endpoint names, so duplicates collide in the radio medium
+    plan = tuple(draw(st.lists(
+        plan_steps(), max_size=max_plan_steps,
+        unique_by=lambda step: step[0],
+    )))
+    faults = tuple(
+        fault.to_primitives() for fault in draw(st.lists(
+            fault_specs(no_drone=no_drone), max_size=max_faults,
+        ))
+    )
+    names = sorted({name for name, _, _ in plan})
+    return RunSpec(
+        campaign="+".join(names) if names else "baseline",
+        seed=draw(seeds),
+        horizon_s=float(draw(st.sampled_from((60.0, 90.0, 120.0)))),
+        profile=draw(profiles),
+        plan=plan,
+        ids_family=draw(st.one_of(st.none(), ids_families)),
+        overrides=tuple(sorted(overrides.items())),
+        faults=faults,
+    )
+
+
+def assert_valid_spec(spec: RunSpec) -> None:
+    """Assert ``spec`` is inside the valid-input envelope defined above.
+
+    Shared by the generator unit tests and the fuzz property tier: every
+    sampled, mutated or strategy-drawn spec must pass this before it is
+    allowed anywhere near ``compose_run``.
+    """
+    from repro.fuzz.generator import GeneratorConfig, drone_disabled
+    from repro.runner.spec import BASELINE
+
+    cfg = GeneratorConfig()
+    assert spec.profile in cfg.profiles
+    assert spec.ids_family is None or spec.ids_family in cfg.ids_families
+    plan_names = [name for name, _, _ in spec.plan]
+    assert len(plan_names) == len(set(plan_names)), \
+        "duplicate campaign in plan (endpoint names would collide)"
+    names = sorted(set(plan_names))
+    assert spec.campaign == ("+".join(names) if names else BASELINE)
+    for name, start, duration in spec.plan:
+        assert name in CAMPAIGN_BUILDERS
+        assert start > 0.0
+        assert duration is None or duration > 0.0
+    no_drone = drone_disabled(spec)
+    for kind, target, start, duration, _params in spec.faults:
+        assert target in FAULT_TARGETS[kind]
+        assert start > 0.0 and duration > 0.0
+        if no_drone:
+            assert target not in DRONE_TARGETS
+    for key, _value in spec.overrides:
+        assert key in cfg.override_keys

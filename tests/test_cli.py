@@ -282,9 +282,12 @@ class TestCheckCommand:
         assert "check error" in capsys.readouterr().err
 
     def test_selftest_detects_every_seeded_violation(self, capsys):
+        from repro.invariants.selftest import MUTATIONS
+
         assert main(["check", "--selftest"]) == 0
         text = capsys.readouterr().out
-        assert "10/10 seeded violations detected" in text
+        n = len(MUTATIONS)
+        assert f"{n}/{n} seeded violations detected" in text
         assert "MISSED" not in text
 
     def test_check_leaves_guards_uninstalled(self, tmp_path, capsys):
