@@ -24,9 +24,20 @@ class AeadError(ValueError):
     """Authentication failure during AEAD decryption."""
 
 
+# The HMAC key schedule (ipad/opad absorption, two SHA-256 compressions) is
+# a pure function of the key; record layers MAC thousands of messages under
+# a handful of long-lived keys, so the scheduled state is cached and forked
+# per message.  ``HMAC.copy()`` is bit-identical to a fresh ``HMAC(key)``.
+@lru_cache(maxsize=64)
+def _hmac_template(key: bytes):
+    return _hmac.new(key, digestmod=hashlib.sha256)
+
+
 def hmac_sha256(key: bytes, data: bytes) -> bytes:
     """HMAC-SHA256 of ``data`` under ``key`` (32 bytes)."""
-    return _hmac.new(key, data, hashlib.sha256).digest()
+    h = _hmac_template(key).copy()
+    h.update(data)
+    return h.digest()
 
 
 def constant_time_equal(a: bytes, b: bytes) -> bool:
@@ -156,6 +167,62 @@ def aead_decrypt_subkeys(
     if not constant_time_equal(tag, expected):
         raise AeadError("authentication tag mismatch")
     return stream_xor(enc_key, nonce, ciphertext)
+
+
+def aead_encrypt_batch(
+    enc_key: bytes,
+    mac_key: bytes,
+    nonces: Tuple[bytes, ...],
+    plaintexts: Tuple[bytes, ...],
+    aad: bytes = b"",
+) -> list:
+    """Seal a same-key batch of records; one sealed body per plaintext.
+
+    Byte-identical to calling :func:`aead_encrypt_subkeys` per record, but
+    per-batch costs are paid once: the MAC key schedule is forked from one
+    cached HMAC template, the AAD length prefix is packed once, and every
+    keystream lands in the midstate-CTR LRU so the matching
+    :func:`aead_decrypt_batch` (or per-record opens) regenerate nothing.
+    """
+    mac_template = _hmac_template(mac_key).copy
+    aad_prefixed = _length_prefix(aad)
+    sealed = []
+    append = sealed.append
+    for nonce, plaintext in zip(nonces, plaintexts):
+        ciphertext = stream_xor(enc_key, nonce, plaintext)
+        h = mac_template()
+        h.update(nonce + aad_prefixed + ciphertext)
+        append(ciphertext + h.digest())
+    return sealed
+
+
+def aead_decrypt_batch(
+    enc_key: bytes,
+    mac_key: bytes,
+    nonces: Tuple[bytes, ...],
+    sealed: Tuple[bytes, ...],
+    aad: bytes = b"",
+) -> list:
+    """Open a same-key batch of records sealed by :func:`aead_encrypt_batch`.
+
+    Verification order and failure behaviour match sequential
+    :func:`aead_decrypt_subkeys` calls: the first bad record raises
+    :class:`AeadError` (earlier records are already verified).
+    """
+    mac_template = _hmac_template(mac_key).copy
+    aad_prefixed = _length_prefix(aad)
+    plaintexts = []
+    append = plaintexts.append
+    for nonce, body in zip(nonces, sealed):
+        if len(body) < 32:
+            raise AeadError("sealed message shorter than the tag")
+        ciphertext, tag = body[:-32], body[-32:]
+        h = mac_template()
+        h.update(nonce + aad_prefixed + ciphertext)
+        if not constant_time_equal(tag, h.digest()):
+            raise AeadError("authentication tag mismatch")
+        append(stream_xor(enc_key, nonce, ciphertext))
+    return plaintexts
 
 
 def aead_encrypt(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:

@@ -10,6 +10,7 @@ per sensor modality, derived from the weather state.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict
 
 from repro.sim.weather import Weather, WeatherConditions
@@ -62,7 +63,10 @@ class DegradationModel:
         )
 
     @staticmethod
+    @lru_cache(maxsize=64)
     def factors_for(c: WeatherConditions) -> DegradationFactors:
+        # pure in the (frozen, hashable) conditions and returns a frozen
+        # result, so the per-state factors are computed once per regime
         camera = c.visibility * (0.55 + 0.45 * c.light_level)
         camera *= 1.0 - 0.35 * c.precipitation
         lidar = 1.0 - 0.5 * c.precipitation

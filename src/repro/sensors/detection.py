@@ -83,6 +83,9 @@ class PeopleDetector:
         self.q50 = q50
         self.slope = slope
         self.max_tpr = max_tpr
+        # the logistic's value at quality 0, subtracted so the curve is
+        # exactly zero there; constant per detector, hoisted out of tpr()
+        self._tpr_floor = 1.0 / (1.0 + math.exp(slope * q50))
         self.fp_rate_clear = fp_rate_clear
         self.fp_rate_degraded = fp_rate_degraded
         self.localization_sigma = localization_sigma
@@ -99,7 +102,7 @@ class PeopleDetector:
         if quality <= 0.0:
             return 0.0
         raw = 1.0 / (1.0 + math.exp(-self.slope * (quality - self.q50)))
-        floor = 1.0 / (1.0 + math.exp(self.slope * self.q50))
+        floor = self._tpr_floor
         return self.max_tpr * max(0.0, raw - floor) / (1.0 - floor)
 
     def fp_probability(self, quality_context: float) -> float:
@@ -112,15 +115,19 @@ class PeopleDetector:
         Returns detections of real people plus possible false positives.
         A hijacked or blinded camera yields nothing.
         """
-        if self.camera.hijacked_by is not None or not self.camera.operational(now):
+        camera = self.camera
+        if camera.hijacked_by is not None or not camera.operational(now):
             return []
         detections: List[Detection] = []
         scene_quality = 1.0
+        image_quality = camera.image_quality
+        rng_random = self._rng.random
+        tpr = self.tpr
         for person in people:
-            quality = self.camera.image_quality(now, person)
+            quality = image_quality(now, person)
             scene_quality = min(scene_quality, max(quality, 0.05))
-            p = self.tpr(quality)
-            if self._rng.random() < p:
+            p = tpr(quality)
+            if rng_random() < p:
                 self.true_positives += 1
                 jitter = Vec2(
                     self._rng.gauss(0.0, self.localization_sigma),

@@ -24,6 +24,10 @@ from dataclasses import dataclass
 from repro.sim.geometry import Vec2
 from repro.sim.world import World
 
+#: sight lines steeper than this pass over trunk height within metres of
+#: the target, so the trunk query is skipped (see SightLine analysis)
+_TRUNK_ELEVATION_LIMIT = math.radians(35.0)
+
 
 @dataclass(frozen=True, slots=True)
 class SightLine:
@@ -89,22 +93,27 @@ class OcclusionModel:
         target_height: float = 1.5,
     ) -> SightLine:
         """Analyse the sight line between observer and target."""
-        distance = observer.distance_to(target)
-        dz = observer_height + self.world.terrain.height_at(observer) - (
-            target_height + self.world.terrain.height_at(target)
-        )
+        world = self.world
+        terrain = world.terrain
+        distance = math.hypot(observer.x - target.x, observer.y - target.y)
+        observer_ground = terrain.height_at(observer)
+        target_ground = terrain.height_at(target)
+        dz = observer_height + observer_ground - (target_height + target_ground)
         elevation = math.atan2(abs(dz), max(distance, 1e-6))
 
-        terrain_blocked = self.world.terrain_blocks(
-            observer, observer_height, target, target_height
+        # forward the ground elevations so the terrain sweep does not pay
+        # the two endpoint ridge sums a second time
+        terrain_blocked = world.terrain_blocks(
+            observer, observer_height, target, target_height,
+            observer_ground=observer_ground, target_ground=target_ground,
         )
         # Trunks only matter for near-horizontal sight lines; above ~35° the
         # line passes over trunk height within metres of the target.
         trunk_blocked = False
-        if elevation < math.radians(35.0):
-            trunk_blocked = self.world.trunk_blocks(observer, target)
+        if elevation < _TRUNK_ELEVATION_LIMIT:
+            trunk_blocked = world.trunk_blocks(observer, target)
 
-        canopy = self.world.canopy_blockage(observer, target)
+        canopy = world.canopy_blockage(observer, target)
         # A steep line crosses the canopy layer only near the target: scale
         # the effective crossing by the fraction of the path below canopy top.
         if elevation > 0.0 and observer_height > self.canopy_base_height:

@@ -23,26 +23,31 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.perf import counters as perf
+
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (scheduling in the past, re-running, ...)."""
 
 
-@dataclass(order=True, slots=True)
+@dataclass(eq=False, slots=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, priority, seq)``; the callback itself never
-    participates in ordering.  ``cancelled`` events stay in the heap but are
-    skipped when popped, which makes cancellation O(1).
+    The heap orders lightweight ``(time, priority, seq, event)`` tuples, so
+    the Event object itself never participates in comparisons (tuple
+    comparison runs at C speed; the old dataclass ``__lt__`` dominated heap
+    churn on large runs).  ``cancelled`` events stay in the heap but are
+    skipped when popped, which makes cancellation O(1).  Periodic timers
+    reuse one Event object across occurrences (see :class:`Process`).
     """
 
     time: float
     priority: int
     seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    _sim: Optional["Simulator"] = field(default=None, compare=False, repr=False)
+    callback: Callable[[], None]
+    cancelled: bool = field(default=False)
+    _sim: Optional["Simulator"] = field(default=None, repr=False)
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
@@ -94,8 +99,12 @@ class Process:
             return
         self.callback()
         if not self._stopped:
-            self._event = self._sim.schedule_at(
-                self._sim.now + self.interval, self._fire, priority=self.priority
+            # timer slot reuse: the fired Event object becomes the next
+            # occurrence (fresh seq drawn at the same point as a fresh
+            # schedule_at, so event ordering is byte-identical) — periodic
+            # timers stop allocating one Event per tick
+            self._event = self._sim._reschedule(
+                self._event, self._sim.now + self.interval, priority=self.priority
             )
 
 
@@ -191,12 +200,37 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
+        seq = next(self._seq)
         event = Event(
-            time=time, priority=priority, seq=next(self._seq),
+            time=time, priority=priority, seq=seq,
             callback=callback, _sim=self,
         )
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
+        return event
+
+    def _reschedule(self, event: Event, time: float, *, priority: int = 0) -> Event:
+        """Re-arm a fired :class:`Event` object for its next occurrence.
+
+        Used by :class:`Process` so periodic timers reuse one slot instead
+        of allocating a fresh Event per tick.  The sequence number is drawn
+        exactly where :meth:`schedule_at` would draw it, so global event
+        ordering — and therefore every trace byte — is unchanged.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        seq = next(self._seq)
+        event.time = time
+        event.priority = priority
+        event.seq = seq
+        event.cancelled = False
+        event._sim = self
+        heapq.heappush(self._heap, (time, priority, seq, event))
+        self._live += 1
+        if perf.ACTIVE:
+            perf.incr("engine.timer_slot_reuse")
         return event
 
     def every(
@@ -213,7 +247,7 @@ class Simulator:
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if the queue is empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[3]
             if event.cancelled:
                 continue
             self._pop_live(event)
@@ -237,22 +271,43 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         fired = 0
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if event.time > end_time:
-                    break
-                heapq.heappop(self._heap)
-                self._pop_live(event)
-                self._now = event.time
-                self._processed += 1
-                event.callback()
-                fired += 1
-                if max_events is not None and fired >= max_events:
-                    return
+            if max_events is None:
+                # unbounded fast path: no per-event budget check
+                while heap:
+                    entry = heap[0]
+                    event = entry[3]
+                    if event.cancelled:
+                        heappop(heap)
+                        continue
+                    if entry[0] > end_time:
+                        break
+                    heappop(heap)
+                    event._sim = None
+                    self._live -= 1
+                    self._now = entry[0]
+                    self._processed += 1
+                    event.callback()
+            else:
+                while heap:
+                    entry = heap[0]
+                    event = entry[3]
+                    if event.cancelled:
+                        heappop(heap)
+                        continue
+                    if entry[0] > end_time:
+                        break
+                    heappop(heap)
+                    event._sim = None
+                    self._live -= 1
+                    self._now = entry[0]
+                    self._processed += 1
+                    event.callback()
+                    fired += 1
+                    if fired >= max_events:
+                        return
             self._now = end_time
         finally:
             self._running = False

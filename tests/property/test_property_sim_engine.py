@@ -55,9 +55,9 @@ class TestSchedulingOrder:
             if i % cancel_every == 0:
                 event.cancel()
                 event.cancel()  # idempotence must hold
-        assert sim.pending == sum(1 for e in sim._heap if not e.cancelled)
+        assert sim.pending == sum(1 for entry in sim._heap if not entry[3].cancelled)
         sim.run_until(50.0)
-        assert sim.pending == sum(1 for e in sim._heap if not e.cancelled)
+        assert sim.pending == sum(1 for entry in sim._heap if not entry[3].cancelled)
 
 
 class TestProcessLifecycle:
@@ -80,8 +80,8 @@ class TestProcessLifecycle:
         sim.every(interval / 2.0, stopper)
         sim.run_until(horizon)
         process.stop()  # stopping (again) after the run must also be clean
-        live = [e for e in sim._heap
-                if not e.cancelled and e.callback == process._fire]
+        live = [entry[3] for entry in sim._heap
+                if not entry[3].cancelled and entry[3].callback == process._fire]
         assert live == []
 
     @given(

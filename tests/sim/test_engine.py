@@ -144,7 +144,7 @@ class TestCancellation:
             if i % 6 == 0:
                 event.cancel()  # double-cancel must stay idempotent
         sim.run_until(3.0)
-        assert sim.pending == sum(1 for e in sim._heap if not e.cancelled)
+        assert sim.pending == sum(1 for entry in sim._heap if not entry[3].cancelled)
 
 
 class TestProcess:
