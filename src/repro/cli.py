@@ -17,6 +17,13 @@ Subcommands
 ``sweep``
     Fan a campaign × seed × profile grid across a process pool, cache
     completed runs in a JSONL store, and print the aggregate table.
+    Writes live progress into ``status.json`` next to the store;
+    ``--progress`` additionally prints a one-line progress summary as
+    cells complete.
+``status``
+    Read the ``status.json`` a running (or finished) sweep/fuzz campaign
+    maintains and print done/running/pending counts, throughput, ETA,
+    per-worker liveness and stall warnings.
 ``profile``
     Run the worksite under cProfile, print the hottest functions, and
     optionally (``--perf``) the :mod:`repro.perf` counter report.
@@ -24,9 +31,14 @@ Subcommands
     Record a structured JSONL trace of a (optionally attacked) run and
     print the analysis reports: per-link delivery/drop breakdown,
     detection-latency percentiles and the attack-vs-defense timeline.
-    ``--analyze`` re-runs the reports on an existing trace file.  The
-    trace header embeds the run's :class:`~repro.runner.spec.RunSpec`, so
-    the file is self-describing and replayable by ``check``.
+    ``--spans`` additionally records the causal span layer (mission
+    phases, frame lifecycles, fault windows) with deterministic span
+    ids; the span analysis (per-kind duration percentiles, critical
+    path) then joins the reports, and ``--analyze --flamegraph PATH``
+    exports a folded-stack flamegraph.  ``--analyze`` re-runs the
+    reports on an existing trace file.  The trace header embeds the
+    run's :class:`~repro.runner.spec.RunSpec`, so the file is
+    self-describing and replayable by ``check``.
 ``check``
     Run the differential replay oracle over a recorded trace: sweep the
     runtime invariants offline, then re-execute the run from the embedded
@@ -50,6 +62,7 @@ Examples::
 
     repro-worksite run --seed 7 --minutes 30
     repro-worksite run --minutes 10 --metrics-json out/metrics.json
+    repro-worksite run --minutes 10 --metrics-prom out/metrics.prom
     repro-worksite run --minutes 5 --faults examples/faults_storm.toml
     repro-worksite run --minutes 5 --fault-campaign crash_brownout
     repro-worksite attack gnss_spoofing --undefended
@@ -61,7 +74,13 @@ Examples::
     repro-worksite profile --minutes 5 --sort tottime --perf
     repro-worksite trace --campaign rf_jamming --minutes 5 --check
     repro-worksite trace --fault-campaign crash_brownout --minutes 2
+    repro-worksite trace --campaign rf_jamming --minutes 5 --spans
     repro-worksite trace --analyze out/trace.jsonl
+    repro-worksite trace --analyze out/trace.jsonl --flamegraph out/trace.folded
+    repro-worksite sweep --campaigns all --n-seeds 2 --jobs 4 --progress
+    repro-worksite status out
+    repro-worksite fuzz --seed 7 --iterations 25 --corpus out/fuzz --progress
+    repro-worksite status out/fuzz
     repro-worksite check --trace out/trace.jsonl --report out/check.json
     repro-worksite check --selftest
     repro-worksite fuzz --seed 7 --iterations 50 --corpus out/fuzz
@@ -186,9 +205,18 @@ def cmd_run(args) -> int:
     from repro.invariants import engine as checks
     from repro.scenarios.worksite import build_worksite
 
+    metrics_out = args.metrics_json or args.metrics_prom
+    if args.metrics_interval is not None and not metrics_out:
+        # previously this was silently ignored; make the dead flag loud
+        print("run: --metrics-interval has no effect without "
+              "--metrics-json or --metrics-prom", file=sys.stderr)
+        return 2
     config = _scenario_config(args)
-    if args.metrics_json:
-        config.metrics_interval_s = args.metrics_interval
+    if metrics_out:
+        config.metrics_interval_s = (
+            args.metrics_interval if args.metrics_interval is not None
+            else 5.0
+        )
     scenario = build_worksite(config)
     horizon = args.minutes * 60.0
     try:
@@ -214,14 +242,18 @@ def cmd_run(args) -> int:
         _print_invariants(checker)
     if injector is not None:
         _print_resilience(injector, horizon)
-    if args.metrics_json:
+    if metrics_out:
         from repro.telemetry import TelemetryHub
 
         scenario.collect_metrics()
         hub = TelemetryHub()
         hub.register_collector("worksite", scenario.metrics)
-        written = hub.export_json(args.metrics_json)
-        print(f"metrics:          {written}")
+        if args.metrics_json:
+            written = hub.export_json(args.metrics_json)
+            print(f"metrics:          {written}")
+        if args.metrics_prom:
+            written = hub.export_prometheus(args.metrics_prom)
+            print(f"metrics (prom):   {written}")
     if checker is not None and not checker.ok:
         return 1
     return 0
@@ -251,7 +283,22 @@ def cmd_trace(args) -> int:
                 return 1
             print(f"schema: {len(records)} records valid")
         print(full_report(records))
+        if args.flamegraph:
+            from repro.telemetry.spans import flamegraph_folded, has_spans
+
+            if not has_spans(records):
+                print("flamegraph: trace has no span records "
+                      "(record with trace --spans)", file=sys.stderr)
+                return 2
+            target = Path(args.flamegraph)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(flamegraph_folded(records), encoding="utf-8")
+            print(f"flamegraph:       {target}")
         return 0
+
+    if args.flamegraph:
+        print("trace: --flamegraph requires --analyze PATH", file=sys.stderr)
+        return 2
 
     if args.campaign and args.campaign not in CAMPAIGN_BUILDERS:
         print(f"unknown campaign {args.campaign!r}; "
@@ -279,7 +326,15 @@ def cmd_trace(args) -> int:
             fault.to_primitives() for fault in schedule.faults
         ) if schedule is not None else (),
     )
-    tracer = Tracer(scenario.sim, TraceWriter(args.out))
+    from repro.telemetry import env_spans_enabled
+
+    spans = args.spans or env_spans_enabled()
+    # armed before the header is emitted so the online engine observes the
+    # whole stream, run span included (mirrors the sweep worker ordering)
+    checker = checks.InvariantEngine() if checks.env_enabled() else None
+    if checker is not None:
+        checks.install(checker)
+    tracer = Tracer(scenario.sim, TraceWriter(args.out), spans=spans)
     tracer.meta(
         seed=args.seed,
         profile=scenario.config.profile.value,
@@ -303,15 +358,19 @@ def cmd_trace(args) -> int:
         target += f" + {len(injector.schedule)} fault(s)"
     print(f"tracing {target!r} run seed={args.seed} "
           f"for {args.minutes} min -> {args.out}")
-    checker = checks.InvariantEngine() if checks.env_enabled() else None
-    with installed(tracer):
-        if checker is not None:
-            with checks.installed(checker):
-                scenario.run(horizon)
-        else:
+    try:
+        with installed(tracer):
             scenario.run(horizon)
-    tracer.close()
+        # close while the checker still observes: end-of-trace span ends
+        # are part of the discipline the spans invariant checks
+        tracer.close()
+    finally:
+        if checker is not None:
+            checks.uninstall()
     print(f"trace:            {tracer.record_count} records")
+    if spans:
+        span_info = tracer.summary().get("spans") or {}
+        print(f"spans:            {span_info.get('records', 0)} span records")
     if checker is not None:
         _print_invariants(checker)
     records = read_trace(args.out)
@@ -386,6 +445,14 @@ def cmd_fuzz(args) -> int:
 
     log = (lambda line: None) if args.quiet \
         else lambda line: print(line, flush=True)
+    monitor = status_path = None
+    if args.progress:
+        # opt-in: status.json carries wall-clock content, so it is never
+        # written by default (the corpus tree stays byte-reproducible)
+        from repro.runner import SweepMonitor
+
+        monitor = SweepMonitor()
+        status_path = Path(args.corpus) / "status.json"
     try:
         report = run_fuzz(
             args.corpus,
@@ -394,6 +461,8 @@ def cmd_fuzz(args) -> int:
             time_budget_s=args.time_budget,
             resume=args.resume,
             log=log,
+            monitor=monitor,
+            status_path=status_path,
         )
     except (FileExistsError, ValueError) as exc:
         print(f"fuzz error: {exc}", file=sys.stderr)
@@ -581,8 +650,10 @@ def _sweep_spec_from_args(args) -> "SweepSpec":
 def cmd_sweep(args) -> int:
     from repro.runner import (
         ResultStore,
+        SweepMonitor,
         SweepRunner,
         aggregate_table,
+        progress_line,
     )
 
     if args.jobs < 1:
@@ -599,15 +670,26 @@ def cmd_sweep(args) -> int:
         print("sweep spec expands to zero runs", file=sys.stderr)
         return 2
     store = ResultStore(args.out)
-    progress = None if args.quiet else lambda line: print(line, flush=True)
+    monitor = SweepMonitor()
+    status_path = Path(args.out).parent / "status.json"
+    if args.progress and not args.quiet:
+        def progress(line):
+            print(line, flush=True)
+            print(progress_line(monitor.snapshot()), flush=True)
+    else:
+        progress = (
+            None if args.quiet else lambda line: print(line, flush=True)
+        )
     print(f"sweep: {len(specs)} runs "
           f"({len(spec.campaigns)} campaigns x {len(spec.resolved_seeds())} "
           f"seeds x {len(spec.profiles)} profiles), jobs={args.jobs}, "
           f"store={args.out}")
-    runner = SweepRunner(jobs=args.jobs, store=store, progress=progress)
+    runner = SweepRunner(jobs=args.jobs, store=store, progress=progress,
+                         monitor=monitor, status_path=status_path)
     report = runner.run(specs, resume=args.resume)
     print(f"done: {report.executed} executed, {report.cached} cached, "
           f"{report.failed} failed in {report.wall_s:.1f} s")
+    print(f"status:           {status_path}")
     for record in report.failures():
         print(f"  FAILED {record['spec'].get('campaign')} "
               f"seed={record['spec'].get('seed')}: {record.get('error')}",
@@ -661,6 +743,25 @@ def cmd_campaigns(args) -> int:
     return 0
 
 
+def cmd_status(args) -> int:
+    from repro.runner import read_status, render_status
+
+    target = Path(args.path)
+    if target.is_dir():
+        target = target / "status.json"
+    if not target.exists():
+        print(f"status: {target} not found (sweeps write it next to the "
+              "result store; fuzz needs --progress)", file=sys.stderr)
+        return 2
+    try:
+        status = read_status(target)
+    except ValueError as exc:
+        print(f"status: {target} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    print(render_status(status))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-worksite",
@@ -691,9 +792,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--metrics-json", default=None, metavar="PATH",
                        help="write the unified telemetry snapshot (counters, "
                             "gauges, series summaries) as JSON")
-    run_p.add_argument("--metrics-interval", type=float, default=5.0,
-                       help="series sampling interval in seconds "
-                            "(with --metrics-json)")
+    run_p.add_argument("--metrics-prom", default=None, metavar="PATH",
+                       help="write the telemetry snapshot in the "
+                            "Prometheus text exposition format")
+    run_p.add_argument("--metrics-interval", type=float, default=None,
+                       help="series sampling interval in seconds (default "
+                            "5.0; requires --metrics-json or "
+                            "--metrics-prom)")
     run_p.set_defaults(func=cmd_run)
 
     attack_p = sub.add_parser("attack", help="run an attack campaign")
@@ -772,7 +877,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the aggregate table")
     sweep_p.add_argument("--quiet", action="store_true",
                          help="suppress per-run progress lines")
+    sweep_p.add_argument("--progress", action="store_true",
+                         help="print a live one-line progress summary "
+                              "(done/running/pending, rate, ETA) as cells "
+                              "complete")
     sweep_p.set_defaults(func=cmd_sweep)
+
+    status_p = sub.add_parser(
+        "status",
+        help="show live progress of a sweep or fuzz campaign directory",
+    )
+    status_p.add_argument(
+        "path",
+        help="campaign directory containing status.json (or the file "
+             "itself)",
+    )
+    status_p.set_defaults(func=cmd_status)
 
     trace_p = sub.add_parser(
         "trace", help="record a structured trace and print analysis reports"
@@ -791,6 +911,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "(exit 1 on violations)")
     trace_p.add_argument("--analyze", default=None, metavar="PATH",
                          help="skip the run; report on an existing trace file")
+    trace_p.add_argument("--spans", action="store_true",
+                         help="record the causal span layer (mission "
+                              "phases, frame lifecycles, fault windows) "
+                              "alongside the event records")
+    trace_p.add_argument("--flamegraph", default=None, metavar="PATH",
+                         help="with --analyze: write a folded-stack "
+                              "flamegraph (flamegraph.pl / speedscope "
+                              "format) from the trace's spans")
     trace_p.add_argument("--no-report", action="store_true",
                          help="record only, skip the analysis reports")
     fault_flags(trace_p)
@@ -839,6 +967,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "invariant")
     fuzz_p.add_argument("--quiet", action="store_true",
                         help="suppress per-iteration progress lines")
+    fuzz_p.add_argument("--progress", action="store_true",
+                        help="maintain a live status.json in the corpus "
+                             "directory (read it with `status`)")
     fuzz_p.set_defaults(func=cmd_fuzz)
     return parser
 

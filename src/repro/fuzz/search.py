@@ -63,11 +63,18 @@ class FuzzSession:
         *,
         generator: Optional[ScenarioGenerator] = None,
         log: Optional[Log] = None,
+        monitor=None,
+        status_path=None,
     ) -> None:
         self.corpus = Corpus(corpus_dir)
         self.seed = int(seed)
         self.generator = generator or ScenarioGenerator()
         self.log: Log = log or (lambda message: None)
+        # opt-in progress plane (a SweepMonitor): status.json carries
+        # wall-clock content, so the CLI wires it up explicitly and the
+        # byte-identical-corpus contract stays about the corpus tree only
+        self.monitor = monitor
+        self.status_path = status_path
 
     # -- lifecycle ----------------------------------------------------------
     def start(self, *, resume: bool = False) -> None:
@@ -120,6 +127,9 @@ class FuzzSession:
             iterations = DEFAULT_ITERATIONS
         started = time.monotonic()
         done = 0
+        self._progress_event(
+            "sweep_started", total=iterations or 0, jobs=1, kind="fuzz",
+        )
         while True:
             if iterations is not None and done >= iterations:
                 break
@@ -127,13 +137,35 @@ class FuzzSession:
                     and time.monotonic() - started >= time_budget_s):
                 break
             index = self.corpus.state["iterations_done"]
+            self._progress_event(
+                "cell_started", key=f"iter:{index}", label=f"iter {index}",
+            )
+            iter_started = time.monotonic()
             self._iterate(index)
             self.corpus.state["iterations_done"] = index + 1
             done += 1
+            self._progress_event(
+                "cell_finished", key=f"iter:{index}", status="ok",
+                cached=False,
+                wall_s=round(time.monotonic() - iter_started, 3),
+            )
         self.corpus.save()
         report = self.build_report()
         self.corpus.write_report(report)
+        self._write_status()
         return report
+
+    def _progress_event(self, name: str, **fields) -> None:
+        if self.monitor is None:
+            return
+        fields["event"] = name
+        fields.setdefault("t", time.monotonic())
+        self.monitor.on_event(fields)
+        self._write_status()
+
+    def _write_status(self) -> None:
+        if self.monitor is not None and self.status_path is not None:
+            self.monitor.write_status(self.status_path)
 
     def _iterate(self, index: int) -> None:
         rng = Random(derive_seed(self.seed, f"fuzz:iter:{index}"))
@@ -209,8 +241,13 @@ def run_fuzz(
     resume: bool = False,
     generator: Optional[ScenarioGenerator] = None,
     log: Optional[Log] = None,
+    monitor=None,
+    status_path=None,
 ) -> dict:
     """Convenience wrapper: start (or resume) a session and run its budget."""
-    session = FuzzSession(corpus_dir, seed, generator=generator, log=log)
+    session = FuzzSession(
+        corpus_dir, seed, generator=generator, log=log,
+        monitor=monitor, status_path=status_path,
+    )
     session.start(resume=resume)
     return session.run(iterations=iterations, time_budget_s=time_budget_s)

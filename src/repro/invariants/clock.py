@@ -46,6 +46,10 @@ class RecordIndexInvariant(Invariant):
         self._last_i: Optional[int] = None
 
     def observe(self, record: dict) -> Iterator[Violation]:
+        if record.get("type") in ("span.start", "span.end"):
+            # span records carry their own ``si`` counter, checked by
+            # telemetry.spans; the event-record ``i`` stream skips them
+            return
         i = record.get("i")
         if not isinstance(i, int):
             yield self.violation(record, f"record i is {i!r}, not an integer")

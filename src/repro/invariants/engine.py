@@ -78,6 +78,7 @@ def default_invariants() -> List[Invariant]:
     from repro.invariants.modes import (
         ModeTransitionInvariant, RtoOrderingInvariant,
     )
+    from repro.invariants.spans import SpanDisciplineInvariant
 
     return [
         MonotoneClockInvariant(),
@@ -89,6 +90,7 @@ def default_invariants() -> List[Invariant]:
         ModeTransitionInvariant(),
         RtoOrderingInvariant(),
         AlertAttributionInvariant(),
+        SpanDisciplineInvariant(),
     ]
 
 

@@ -75,7 +75,14 @@ def replay_records(records: List[dict]) -> List[dict]:
         overrides=dict(spec.overrides),
         faults=spec.faults,
     )
-    tracer = trace.Tracer(prepared.scenario.sim, keep_records=True)
+    # a span-augmented trace must replay with the span layer armed (and
+    # closed at the horizon), or the diff would flag every span line
+    spans = any(
+        r.get("type") in ("span.start", "span.end") for r in records
+    )
+    tracer = trace.Tracer(
+        prepared.scenario.sim, keep_records=True, spans=spans
+    )
     meta_fields = {
         key: value for key, value in records[0].items()
         if key not in ("v", "i", "t", "type", "schema")
@@ -83,6 +90,7 @@ def replay_records(records: List[dict]) -> List[dict]:
     tracer.meta(**meta_fields)
     with trace.installed(tracer):
         prepared.scenario.run(spec.horizon_s)
+    tracer.close()
     return tracer.records
 
 

@@ -234,6 +234,43 @@ def _broken_mode_chain(records: List[dict]) -> MutationResult:
     return records, records[index]["t"]
 
 
+def _unclosed_span(records: List[dict]) -> MutationResult:
+    # a span.start with the correct deterministic id (so only the
+    # balance check fires) that no span.end ever closes
+    from repro.telemetry.spans import run_prefix, span_id
+
+    last = records[-1]
+    records.append({
+        "v": last["v"], "si": 0, "t": last["t"], "type": "span.start",
+        "span": span_id(run_prefix(BASE_SEED), 0),
+        "kind": "fault", "name": "ghost-window",
+    })
+    return records, last["t"]
+
+
+def _overlapping_span(records: List[dict]) -> MutationResult:
+    # parent closes while its child is still open: the one ordering the
+    # strict-nesting rule forbids (ids and si stay consistent so only
+    # the nesting check fires)
+    from repro.telemetry.spans import run_prefix, span_id
+
+    last = records[-1]
+    t = last["t"]
+    prefix = run_prefix(BASE_SEED)
+    parent, child = span_id(prefix, 0), span_id(prefix, 1)
+    records.extend([
+        {"v": last["v"], "si": 0, "t": t, "type": "span.start",
+         "span": parent, "kind": "attack", "name": "outer"},
+        {"v": last["v"], "si": 1, "t": t, "type": "span.start",
+         "span": child, "parent": parent, "kind": "frame", "name": "inner"},
+        {"v": last["v"], "si": 2, "t": t, "type": "span.end",
+         "span": parent, "kind": "attack", "dur_s": 0.0},
+        {"v": last["v"], "si": 3, "t": t, "type": "span.end",
+         "span": child, "kind": "frame", "dur_s": 0.0},
+    ])
+    return records, t
+
+
 def _latency_mismatch(records: List[dict]) -> MutationResult:
     index = _find(
         records,
@@ -260,6 +297,8 @@ MUTATIONS: List[Tuple[str, str, Mutator]] = [
     ("nonce_regression", "crypto.nonce_sequence", _nonce_regression),
     ("broken_mode_chain", "modes.transition_legality", _broken_mode_chain),
     ("latency_mismatch", "ids.alert_attribution", _latency_mismatch),
+    ("unclosed_span", "telemetry.spans", _unclosed_span),
+    ("overlapping_span", "telemetry.spans", _overlapping_span),
 ]
 
 

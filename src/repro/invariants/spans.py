@@ -1,0 +1,164 @@
+"""Span-layer invariants: the causal span discipline.
+
+The span layer (:mod:`repro.telemetry.spans`) promises four things about
+any trace it augments, and this checker holds it to all of them:
+
+* **balanced** — every ``span.start`` is matched by exactly one
+  ``span.end`` before end-of-trace, and no end arrives without a start;
+* **strictly nested** — a span's parent is open when the span opens, and
+  every child is closed before its parent closes (child intervals lie
+  within the parent interval, since the clock invariant already pins
+  stream order to simulated time);
+* **deterministic ids** — every span id equals
+  :func:`~repro.telemetry.spans.span_id` of the trace seed and the span
+  record's own ``si``, so same-seed traces mint identical ids;
+* **contiguous si** — span records carry their own gap-free counter,
+  mirroring what ``clock.record_index`` checks for event records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.invariants.base import Invariant, Violation
+
+#: |dur_s - (end t - start t)| tolerance (both sides round to 6 places)
+DUR_TOL_S = 1e-6
+
+
+class _OpenSpan:
+    """Book-keeping for one span between its start and end records."""
+
+    __slots__ = ("record", "parent", "children")
+
+    def __init__(self, record: dict, parent: Optional[str]) -> None:
+        self.record = record
+        self.parent = parent
+        self.children = 0
+
+
+class SpanDisciplineInvariant(Invariant):
+    """Spans balance, nest strictly and carry deterministic ids."""
+
+    name = "telemetry.spans"
+    subsystem = "telemetry"
+
+    def __init__(self) -> None:
+        self._prefix: Optional[str] = None
+        self._next_si = 0
+        self._open: Dict[str, _OpenSpan] = {}
+
+    def observe(self, record: dict) -> Iterator[Violation]:
+        rtype = record.get("type")
+        if rtype == "trace.meta":
+            if self._prefix is None and "seed" in record:
+                from repro.telemetry.spans import run_prefix
+
+                self._prefix = run_prefix(record["seed"])
+            return
+        if rtype not in ("span.start", "span.end"):
+            return
+
+        si = record.get("si")
+        if si != self._next_si:
+            yield self.violation(
+                record,
+                f"span record si={si!r} is not contiguous "
+                f"(expected {self._next_si})",
+                expected_si=self._next_si,
+            )
+        # resync on the observed counter so one gap doesn't cascade
+        self._next_si = (si + 1) if isinstance(si, int) else self._next_si + 1
+
+        span = record.get("span")
+        if rtype == "span.start":
+            yield from self._observe_start(record, span, si)
+        else:
+            yield from self._observe_end(record, span)
+
+    def _observe_start(
+        self, record: dict, span: Optional[str], si
+    ) -> Iterator[Violation]:
+        if self._prefix is not None and isinstance(si, int):
+            from repro.telemetry.spans import span_id
+
+            expected = span_id(self._prefix, si)
+            if span != expected:
+                yield self.violation(
+                    record,
+                    f"span id {span!r} is not the deterministic id for "
+                    f"si={si} (expected {expected!r})",
+                    expected_id=expected,
+                )
+        if span in self._open:
+            yield self.violation(
+                record, f"span id {span!r} reused while still open"
+            )
+        parent = record.get("parent")
+        if parent is not None:
+            entry = self._open.get(parent)
+            if entry is None:
+                yield self.violation(
+                    record,
+                    f"span {span!r} opened under parent {parent!r}, "
+                    "which is not open",
+                    parent=parent,
+                )
+            else:
+                entry.children += 1
+        if span is not None:
+            self._open[span] = _OpenSpan(record, parent)
+
+    def _observe_end(
+        self, record: dict, span: Optional[str]
+    ) -> Iterator[Violation]:
+        entry = self._open.pop(span, None)
+        if entry is None:
+            yield self.violation(
+                record, f"span.end for {span!r} without an open span.start"
+            )
+            return
+        if entry.children > 0:
+            yield self.violation(
+                record,
+                f"span {span!r} closed before {entry.children} of its "
+                "child span(s); children must close first",
+                open_children=entry.children,
+            )
+        if record.get("kind") != entry.record.get("kind"):
+            yield self.violation(
+                record,
+                f"span {span!r} closed as kind "
+                f"{record.get('kind')!r}, opened as "
+                f"{entry.record.get('kind')!r}",
+            )
+        dur = record.get("dur_s")
+        t0, t1 = entry.record.get("t"), record.get("t")
+        if (isinstance(dur, (int, float)) and isinstance(t0, (int, float))
+                and isinstance(t1, (int, float))
+                and abs(dur - round(t1 - t0, 6)) > DUR_TOL_S):
+            yield self.violation(
+                record,
+                f"span {span!r} dur_s={dur} disagrees with its interval "
+                f"[{t0}, {t1}]",
+                interval_s=round(t1 - t0, 6),
+            )
+        if entry.parent is not None:
+            parent = self._open.get(entry.parent)
+            if parent is not None:
+                parent.children -= 1
+
+    def finish(self) -> Iterator[Violation]:
+        # attributed to each span's *start* record: that is where the
+        # leaked interval began, and what the self-test asserts on
+        for entry in sorted(
+            self._open.values(), key=lambda e: e.record.get("si", 0)
+        ):
+            record = entry.record
+            yield self.violation(
+                record,
+                f"span {record.get('span')!r} "
+                f"({record.get('kind')}:{record.get('name')}) "
+                "never closed before end of trace",
+                span=record.get("span"),
+            )

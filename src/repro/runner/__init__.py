@@ -12,6 +12,8 @@ sweeps only execute the delta:
 * :mod:`repro.runner.store` — the append-only JSONL result store;
 * :mod:`repro.runner.engine` — :class:`SweepRunner` (pool fan-out,
   resume, failure isolation);
+* :mod:`repro.runner.monitor` — :class:`SweepMonitor` (live progress
+  fold, ``status.json``, stall detection for ``repro-worksite status``);
 * :mod:`repro.runner.aggregate` — grouped means → paper-style tables.
 
 Typical use::
@@ -32,6 +34,12 @@ from repro.runner.engine import (
     UncheckedResultWarning,
     run_sweep,
 )
+from repro.runner.monitor import (
+    SweepMonitor,
+    progress_line,
+    read_status,
+    render_status,
+)
 from repro.runner.spec import (
     BASELINE,
     RunSpec,
@@ -49,6 +57,7 @@ __all__ = [
     "SweepSpec",
     "SweepReport",
     "SweepRunner",
+    "SweepMonitor",
     "UncheckedResultWarning",
     "ResultStore",
     "aggregate_rows",
@@ -58,6 +67,9 @@ __all__ = [
     "execute_run",
     "load_sweep_spec",
     "open_store",
+    "progress_line",
+    "read_status",
+    "render_status",
     "run_sweep",
     "sweep_spec_from_mapping",
 ]

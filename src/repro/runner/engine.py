@@ -22,11 +22,16 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.runner.monitor import SweepMonitor
 from repro.runner.spec import RunSpec
 from repro.runner.store import ResultStore
 from repro.runner.worker import execute_run
 
 ProgressFn = Callable[[str], None]
+
+#: minimum seconds between status.json rewrites (and the pool wait
+#: timeout that drives heartbeats while no cell completes)
+STATUS_INTERVAL_S = 2.0
 
 
 class UncheckedResultWarning(UserWarning):
@@ -76,6 +81,16 @@ class SweepRunner:
         they arrive and consulted for cache hits when ``resume`` is set.
     progress:
         Optional callable receiving one formatted line per completed run.
+    monitor:
+        Optional :class:`~repro.runner.monitor.SweepMonitor` receiving
+        ``sweep_started`` / ``cell_started`` / ``cell_finished`` /
+        ``heartbeat`` events as the sweep advances.
+    status_path:
+        Where to (atomically) write the monitor snapshot as
+        ``status.json``; requires ``monitor``.  Writes are throttled to
+        ``status_interval_s`` with a forced final write.
+    clock:
+        Timestamp source for monitor events (injectable for tests).
     """
 
     def __init__(
@@ -84,12 +99,21 @@ class SweepRunner:
         jobs: int = 1,
         store: Optional[ResultStore] = None,
         progress: Optional[ProgressFn] = None,
+        monitor: Optional[SweepMonitor] = None,
+        status_path=None,
+        status_interval_s: float = STATUS_INTERVAL_S,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.store = store
         self.progress = progress
+        self.monitor = monitor
+        self.status_path = status_path
+        self.status_interval_s = status_interval_s
+        self.clock = clock
+        self._last_status_write: Optional[float] = None
 
     def run(self, specs: Sequence[RunSpec], *, resume: bool = False) -> SweepReport:
         started = time.perf_counter()
@@ -111,11 +135,16 @@ class SweepRunner:
         if cached:
             self._warn_unchecked(cached)
 
+        self._event("sweep_started", total=len(ordered), jobs=self.jobs)
         report = SweepReport(total=len(ordered), cached=len(cached))
         by_key: Dict[str, dict] = dict(cached)
         done = 0
         for record in cached.values():
             done += 1
+            # monitor first, so a progress callback reading the monitor's
+            # snapshot sees the cell it is reporting on
+            self._event("cell_finished", key=record["key"],
+                        status=record.get("status"), cached=True)
             self._emit(done=done, total=len(ordered),
                        record=record, from_cache=True)
 
@@ -125,6 +154,10 @@ class SweepRunner:
             done += 1
             if self.store is not None:
                 self.store.append(record)
+            self._event("cell_finished", key=record["key"],
+                        status=record.get("status"), cached=False,
+                        wall_s=record.get("wall_s"),
+                        pid=record.get("pid"))
             self._emit(done=done, total=len(ordered),
                        record=record, from_cache=False)
 
@@ -133,6 +166,7 @@ class SweepRunner:
             1 for r in report.records if r.get("status") != "ok"
         )
         report.wall_s = round(time.perf_counter() - started, 3)
+        self._write_status(force=True)
         return report
 
     def _warn_unchecked(self, cached: Dict[str, dict]) -> None:
@@ -157,6 +191,28 @@ class SweepRunner:
             stacklevel=3,
         )
 
+    # -- progress plane ----------------------------------------------------
+
+    def _event(self, name: str, **fields) -> None:
+        """Forward one progress event to the monitor (if any) and let it
+        refresh ``status.json`` on the throttled cadence."""
+        if self.monitor is None:
+            return
+        fields["event"] = name
+        fields.setdefault("t", self.clock())
+        self.monitor.on_event(fields)
+        self._write_status()
+
+    def _write_status(self, force: bool = False) -> None:
+        if self.monitor is None or self.status_path is None:
+            return
+        now = self.clock()
+        if (not force and self._last_status_write is not None
+                and now - self._last_status_write < self.status_interval_s):
+            return
+        self._last_status_write = now
+        self.monitor.write_status(self.status_path, now=now)
+
     # -- execution backends ------------------------------------------------
 
     def _execute(self, pending: Sequence[RunSpec]):
@@ -164,24 +220,43 @@ class SweepRunner:
             return
         if self.jobs == 1:
             for spec in pending:
+                self._event("cell_started", key=spec.key, label=spec.label)
                 yield execute_run(spec)
             return
         yield from self._execute_pool(pending)
 
     def _execute_pool(self, pending: Sequence[RunSpec]):
         workers = min(self.jobs, len(pending))
+        queue = list(pending)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(execute_run, spec.to_dict()): spec
-                for spec in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(
-                    remaining, return_when=FIRST_COMPLETED
+            futures: Dict = {}
+
+            def submit_next() -> None:
+                spec = queue.pop(0)
+                futures[pool.submit(execute_run, spec.to_dict())] = spec
+                self._event("cell_started", key=spec.key, label=spec.label)
+
+            # lazy submission — one in-flight future per worker — keeps
+            # "started" synonymous with "executing", so cell ages (and the
+            # stall detector reading them) measure work, not queue time
+            for _ in range(min(workers, len(queue))):
+                submit_next()
+            while futures:
+                timeout = (
+                    self.status_interval_s if self.monitor is not None
+                    else None
                 )
+                finished, _ = wait(
+                    set(futures), timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not finished:
+                    # nothing completed within the interval: refresh
+                    # liveness so a wedged worker surfaces as a stall
+                    self._event("heartbeat")
+                    continue
                 for future in finished:
-                    spec = futures[future]
+                    spec = futures.pop(future)
                     error = future.exception()
                     if error is None:
                         yield future.result()
@@ -196,6 +271,8 @@ class SweepRunner:
                             "result": None,
                             "wall_s": None,
                         }
+                    if queue:
+                        submit_next()
 
     def _emit(self, *, done: int, total: int, record: dict,
               from_cache: bool) -> None:
@@ -219,7 +296,12 @@ def run_sweep(
     store: Optional[ResultStore] = None,
     resume: bool = False,
     progress: Optional[ProgressFn] = None,
+    monitor: Optional[SweepMonitor] = None,
+    status_path=None,
 ) -> SweepReport:
     """Convenience wrapper: one call from specs to report."""
-    runner = SweepRunner(jobs=jobs, store=store, progress=progress)
+    runner = SweepRunner(
+        jobs=jobs, store=store, progress=progress,
+        monitor=monitor, status_path=status_path,
+    )
     return runner.run(specs, resume=resume)

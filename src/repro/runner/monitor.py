@@ -1,0 +1,261 @@
+"""Live campaign progress: the sweep/fuzz monitor and ``status.json``.
+
+:class:`SweepMonitor` is the write side of the progress plane.  The sweep
+engine (and, opted in, the fuzz session) feeds it plain event dicts —
+``sweep_started`` / ``cell_started`` / ``cell_finished`` / ``heartbeat``
+— each stamped with a caller-supplied wall-clock time.  The monitor is a
+**pure fold** over that event sequence: feed the same events and ask for
+a snapshot at the same ``now`` and you get the same dict, which is what
+makes ``status.json`` reproducible and testable without real sleeps.
+
+The read side is :func:`read_status` plus :func:`render_status`, backing
+the ``repro-worksite status <dir>`` subcommand: done/running/pending
+counts, throughput, an ETA extrapolated from completed-cell durations,
+per-worker liveness, and stall warnings for cells whose age exceeds a
+rolling p95-based threshold.
+
+``status.json`` is written atomically (temp file + ``os.replace``) so a
+concurrently-running ``status`` command never reads a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.sim.metrics import percentile
+
+#: status.json layout version
+STATUS_SCHEMA = 1
+
+#: a running cell is stalled when its age exceeds this multiple of the
+#: p95 completed-cell duration ...
+STALL_FACTOR = 3.0
+
+#: ... but never before this many cells have completed (the p95 of one
+#: or two samples is noise) ...
+MIN_COMPLETED_FOR_STALL = 3
+
+#: ... and never below this absolute floor, so short sweeps don't flag
+#: every cell during warm-up
+STALL_FLOOR_S = 30.0
+
+
+class SweepMonitor:
+    """Fold progress events into a live campaign snapshot.
+
+    All timestamps are caller-supplied floats from one monotonic clock;
+    the monitor never reads a clock itself, so a recorded event sequence
+    replays to an identical snapshot (asserted by the monitor tests).
+    """
+
+    def __init__(self) -> None:
+        self.kind = "sweep"
+        self.total = 0
+        self.jobs = 1
+        self.started_t: Optional[float] = None
+        self.last_t: Optional[float] = None
+        self.done = 0
+        self.failed = 0
+        self.cached = 0
+        self._running: Dict[str, dict] = {}
+        self._durations: List[float] = []
+        self._workers: Dict[int, float] = {}
+
+    # -- event intake -------------------------------------------------------
+    def on_event(self, event: dict) -> None:
+        """Fold one progress event; unknown event names are ignored."""
+        name = event.get("event")
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            if self.started_t is None:
+                self.started_t = float(t)
+            self.last_t = float(t)
+        pid = event.get("pid")
+        if isinstance(pid, int) and isinstance(t, (int, float)):
+            self._workers[pid] = float(t)
+
+        if name == "sweep_started":
+            self.kind = event.get("kind", "sweep")
+            self.total = int(event.get("total", 0))
+            self.jobs = int(event.get("jobs", 1))
+        elif name == "cell_started":
+            self._running[event["key"]] = {
+                "key": event["key"],
+                "label": event.get("label", event["key"]),
+                "t": float(t) if isinstance(t, (int, float)) else 0.0,
+                "pid": pid,
+            }
+        elif name == "cell_finished":
+            self._running.pop(event.get("key"), None)
+            self.done += 1
+            if event.get("cached"):
+                self.cached += 1
+            elif event.get("status") != "ok":
+                self.failed += 1
+            wall_s = event.get("wall_s")
+            # cached cells finish in microseconds; folding them into the
+            # duration stats would drag the stall threshold to zero
+            if isinstance(wall_s, (int, float)) and not event.get("cached"):
+                self._durations.append(float(wall_s))
+        # "heartbeat" only refreshes last_t / worker liveness, done above
+
+    # -- snapshot -----------------------------------------------------------
+    def stall_threshold_s(self) -> Optional[float]:
+        """Age beyond which a running cell counts as stalled, or None
+        while too few cells have completed to estimate one."""
+        if len(self._durations) < MIN_COMPLETED_FOR_STALL:
+            return None
+        p95 = percentile(sorted(self._durations), 0.95)
+        return round(max(STALL_FLOOR_S, STALL_FACTOR * p95), 3)
+
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        """The full progress picture at ``now`` (default: last event)."""
+        if now is None:
+            now = self.last_t if self.last_t is not None else 0.0
+        elapsed = (
+            round(now - self.started_t, 3)
+            if self.started_t is not None else 0.0
+        )
+        pending = max(0, self.total - self.done - len(self._running))
+        threshold = self.stall_threshold_s()
+        running = []
+        for cell in sorted(self._running.values(), key=lambda c: c["t"]):
+            age = round(now - cell["t"], 3)
+            running.append({
+                "key": cell["key"],
+                "label": cell["label"],
+                "age_s": age,
+                "pid": cell["pid"],
+                "stalled": threshold is not None and age > threshold,
+            })
+        executed = self.done - self.cached
+        mean_dur = (
+            sum(self._durations) / len(self._durations)
+            if self._durations else None
+        )
+        remaining = self.total - self.done
+        eta_s = (
+            round(remaining * mean_dur / max(1, self.jobs), 3)
+            if mean_dur is not None and remaining > 0 else None
+        )
+        throughput = (
+            round(executed / elapsed * 60.0, 3) if elapsed > 0 else None
+        )
+        return {
+            "schema": STATUS_SCHEMA,
+            "kind": self.kind,
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "cached": self.cached,
+            "pending": pending,
+            "elapsed_s": elapsed,
+            "throughput_per_min": throughput,
+            "eta_s": eta_s,
+            "stall_threshold_s": threshold,
+            "running": running,
+            "workers": {
+                str(pid): {"idle_s": round(now - seen, 3)}
+                for pid, seen in sorted(self._workers.items())
+            },
+            "durations": {
+                "count": len(self._durations),
+                "p50_s": round(
+                    percentile(sorted(self._durations), 0.50), 3
+                ) if self._durations else None,
+                "p95_s": round(
+                    percentile(sorted(self._durations), 0.95), 3
+                ) if self._durations else None,
+            },
+        }
+
+    # -- status.json --------------------------------------------------------
+    def write_status(
+        self, path: os.PathLike, now: Optional[float] = None
+    ) -> Path:
+        """Atomically write the snapshot; returns the written path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            self.snapshot(now), indent=2, sort_keys=True
+        ) + "\n"
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, target)
+        return target
+
+
+def read_status(path: os.PathLike) -> dict:
+    """Load a ``status.json`` written by :meth:`SweepMonitor.write_status`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def progress_line(status: dict) -> str:
+    """One-line progress summary (what ``sweep --progress`` prints)."""
+    parts = [
+        f"[{status.get('kind', 'sweep')}]",
+        f"{status.get('done', 0)}/{status.get('total', 0)} done",
+        f"{len(status.get('running') or [])} running",
+        f"{status.get('pending', 0)} pending",
+    ]
+    if status.get("failed"):
+        parts.append(f"{status['failed']} failed")
+    if status.get("throughput_per_min") is not None:
+        parts.append(f"{status['throughput_per_min']:.1f}/min")
+    if status.get("eta_s") is not None:
+        parts.append(f"eta {status['eta_s']:.0f}s")
+    stalled = sum(
+        1 for cell in status.get("running") or [] if cell.get("stalled")
+    )
+    if stalled:
+        parts.append(f"{stalled} STALLED")
+    return " ".join(parts)
+
+
+def render_status(status: dict) -> str:
+    """Multi-line human rendering (what ``repro-worksite status`` prints)."""
+    lines = [
+        f"campaign: {status.get('kind', 'sweep')}",
+        f"progress: {status.get('done', 0)}/{status.get('total', 0)} done, "
+        f"{len(status.get('running') or [])} running, "
+        f"{status.get('pending', 0)} pending, "
+        f"{status.get('failed', 0)} failed, "
+        f"{status.get('cached', 0)} cached",
+        f"elapsed:  {status.get('elapsed_s', 0.0)}s",
+    ]
+    if status.get("throughput_per_min") is not None:
+        lines.append(
+            f"rate:     {status['throughput_per_min']:.2f} cells/min"
+        )
+    if status.get("eta_s") is not None:
+        lines.append(f"eta:      {status['eta_s']:.0f}s")
+    durations = status.get("durations") or {}
+    if durations.get("count"):
+        lines.append(
+            f"cell wall: p50 {durations.get('p50_s')}s, "
+            f"p95 {durations.get('p95_s')}s "
+            f"(n={durations.get('count')})"
+        )
+    workers = status.get("workers") or {}
+    if workers:
+        seen = ", ".join(
+            f"pid {pid} (idle {info.get('idle_s', '?')}s)"
+            for pid, info in sorted(workers.items())
+        )
+        lines.append(f"workers:  {seen}")
+    running = status.get("running") or []
+    if running:
+        lines.append("running cells:")
+        for cell in running:
+            flag = "  ** STALLED **" if cell.get("stalled") else ""
+            lines.append(
+                f"  {cell.get('label', cell.get('key'))} "
+                f"(age {cell.get('age_s')}s, pid {cell.get('pid')}){flag}"
+            )
+    threshold = status.get("stall_threshold_s")
+    if threshold is not None:
+        lines.append(f"stall threshold: {threshold}s")
+    return "\n".join(lines)

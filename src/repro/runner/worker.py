@@ -19,6 +19,7 @@ recorded under ``REPRO_CHECK=1`` rides as ``result["invariants"]``.
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from typing import Mapping, Optional, Union
@@ -49,6 +50,9 @@ def execute_run(spec: Union[RunSpec, Mapping]) -> dict:
         "error": error,
         "result": result,
         "wall_s": round(time.perf_counter() - started, 3),
+        # which pool worker ran the cell — feeds per-worker liveness in
+        # the sweep monitor; wall-clock-adjacent, so outside ``result``
+        "pid": os.getpid(),
     }
     if perf.enabled():
         record["perf"] = perf.snapshot()
@@ -74,21 +78,35 @@ def _simulate(spec: RunSpec) -> dict:
     scenario = prepared.scenario
     tracing = trace.env_enabled()
     checker = checks.InvariantEngine() if checks.env_enabled() else None
+    if checker is not None:
+        # armed before the tracer emits anything: the online engine must
+        # observe the header (and the run span it opens) or the span
+        # discipline invariant would see an amputated stream
+        checks.install(checker)
     tracer = None
     if tracing or checker is not None:
         # the invariant engine rides on the record stream, so REPRO_CHECK
         # alone still installs a (writer-less, record-less) tracer
-        tracer = trace.Tracer(scenario.sim)
+        spans = tracing and trace.env_spans_enabled()
+        tracer = trace.Tracer(scenario.sim, spans=spans)
+        if spans:
+            # the span emitter needs a header to open the run span; only
+            # emitted under REPRO_SPANS so default summaries are unchanged
+            tracer.meta(
+                seed=spec.seed, profile=spec.profile, plan=spec.plan,
+                horizon_s=spec.horizon_s,
+            )
         trace.install(tracer)
-    if checker is not None:
-        checks.install(checker)
     try:
         scenario.run(spec.horizon_s)
     finally:
+        if tracer is not None:
+            # ends any spans still open at the horizon (no-op without
+            # spans: there is no writer to flush in a pool worker)
+            tracer.close()
+            trace.uninstall()
         if checker is not None:
             checks.uninstall()
-        if tracer is not None:
-            trace.uninstall()
 
     detection: Optional[dict] = None
     manager = prepared.score_manager()

@@ -2,11 +2,16 @@
 
 Components record named counters and sampled series through a single
 :class:`MetricsCollector`; the experiment harness summarises them afterwards.
+Two bounded-memory aggregates back the observability plane:
+:class:`Histogram` (fixed log-spaced buckets, quantile estimates, the
+shape the Prometheus text exposition expects) and :class:`RateWindow`
+(a fixed-slot ring buffer yielding trailing-window event rates).
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -68,13 +73,174 @@ class SeriesSummary:
         }
 
 
+class Histogram:
+    """Bounded-memory histogram over fixed log-spaced buckets.
+
+    Memory is O(buckets) regardless of observation count: one count per
+    bucket plus scalar aggregates.  Bucket boundaries are geometric —
+    ``buckets_per_decade`` per power of ten between ``lower`` and
+    ``upper`` — so the same relative resolution covers microseconds and
+    kiloseconds.  Quantiles interpolate linearly inside the bucket, the
+    same estimate Prometheus's ``histogram_quantile`` computes from the
+    exported cumulative buckets.
+    """
+
+    __slots__ = (
+        "bounds", "counts", "count", "total", "minimum", "maximum",
+    )
+
+    def __init__(
+        self,
+        lower: float = 1e-6,
+        upper: float = 1e4,
+        buckets_per_decade: int = 5,
+    ) -> None:
+        if lower <= 0 or upper <= lower or buckets_per_decade < 1:
+            raise ValueError(
+                f"invalid histogram bounds: lower={lower}, upper={upper}, "
+                f"buckets_per_decade={buckets_per_decade}"
+            )
+        decades = math.log10(upper / lower)
+        n = int(round(decades * buckets_per_decade))
+        # upper inclusive; the exponent grid keeps boundaries identical
+        # across histograms with the same configuration
+        self.bounds: List[float] = [
+            lower * 10.0 ** (i / buckets_per_decade) for i in range(n + 1)
+        ]
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation (values <= 0 land in the first bucket)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1); 0.0 when empty.
+
+        Exact at the recorded extremes (the min/max scalars), linear
+        within the containing bucket elsewhere.
+        """
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative < rank or not bucket_count:
+                continue
+            lo = self.bounds[index - 1] if index >= 1 else 0.0
+            hi = (
+                self.bounds[index] if index < len(self.bounds)
+                else self.maximum
+            )
+            lo = max(lo, self.minimum) if index == 0 or lo < self.minimum \
+                else lo
+            hi = min(hi, self.maximum)
+            if hi <= lo:
+                return hi
+            frac = (rank - (cumulative - bucket_count)) / bucket_count
+            return lo + (hi - lo) * frac
+        return self.maximum
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, Prometheus-style
+        (the final ``+Inf`` bucket is the total count)."""
+        out: List[Tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            out.append((bound, cumulative))
+        out.append((math.inf, self.count))
+        return out
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram with identical buckets into this one."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def as_dict(self) -> dict:
+        """Compact JSON form (what hub snapshots and span reports carry)."""
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "p50": round(self.quantile(0.50), 9),
+            "p95": round(self.quantile(0.95), 9),
+            "p99": round(self.quantile(0.99), 9),
+        }
+
+
+class RateWindow:
+    """Trailing-window event rate over a fixed-slot ring buffer.
+
+    ``add`` assigns each event to a time slot; memory is O(slots)
+    forever.  Events are assumed to arrive in non-decreasing time order
+    (the simulator clock guarantees it); a slot is lazily reset when its
+    ring position is reused by a later epoch.
+    """
+
+    __slots__ = ("slot_s", "_counts", "_epochs")
+
+    def __init__(self, window_s: float = 60.0, slots: int = 60) -> None:
+        if window_s <= 0 or slots < 1:
+            raise ValueError(
+                f"invalid rate window: window_s={window_s}, slots={slots}"
+            )
+        self.slot_s = window_s / slots
+        self._counts: List[float] = [0.0] * slots
+        self._epochs: List[Optional[int]] = [None] * slots
+
+    @property
+    def window_s(self) -> float:
+        return self.slot_s * len(self._counts)
+
+    def add(self, t: float, amount: float = 1.0) -> None:
+        epoch = int(t // self.slot_s)
+        position = epoch % len(self._counts)
+        if self._epochs[position] != epoch:
+            self._epochs[position] = epoch
+            self._counts[position] = 0.0
+        self._counts[position] += amount
+
+    def rate(self, now: float) -> float:
+        """Events per second over the window ending at ``now``."""
+        now_epoch = int(now // self.slot_s)
+        slots = len(self._counts)
+        total = sum(
+            self._counts[i] for i in range(slots)
+            if self._epochs[i] is not None
+            and 0 <= now_epoch - self._epochs[i] < slots
+        )
+        # a window that has not fully elapsed yet normalises over the
+        # elapsed portion, so early rates are not diluted by empty slots
+        effective = min(self.window_s, max(self.slot_s, now))
+        return total / effective
+
+
 class MetricsCollector:
-    """Named counters, gauges and timestamped series."""
+    """Named counters, gauges, timestamped series and histograms."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, float] = {}
         self._series: Dict[str, List[Tuple[float, float]]] = {}
         self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     # -- counters ---------------------------------------------------------
     def increment(self, name: str, amount: float = 1.0) -> None:
@@ -114,6 +280,20 @@ class MetricsCollector:
     def summarize(self, name: str) -> SeriesSummary:
         return SeriesSummary.of(self.series_values(name))
 
+    # -- histograms -------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation in the named histogram (auto-created)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self._histograms.get(name)
+
+    def histogram_names(self) -> List[str]:
+        return sorted(self._histograms)
+
     def ratio(self, numerator: str, denominator: str) -> Optional[float]:
         """Counter ratio, or None when the denominator is zero."""
         denom = self.counter(denominator)
@@ -122,9 +302,19 @@ class MetricsCollector:
         return self.counter(numerator) / denom
 
     def merge(self, other: "MetricsCollector") -> None:
-        """Fold another collector's counters and series into this one."""
+        """Fold another collector's counters, series and histograms in."""
         for name, value in other._counters.items():
             self.increment(name, value)
         for name, points in other._series.items():
             self._series.setdefault(name, []).extend(points)
         self._gauges.update(other._gauges)
+        for name, histogram in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = Histogram(
+                    lower=histogram.bounds[0],
+                    upper=histogram.bounds[-1],
+                )
+                mine.bounds = list(histogram.bounds)
+                mine.counts = [0] * len(histogram.counts)
+            mine.merge(histogram)

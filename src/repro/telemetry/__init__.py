@@ -13,7 +13,12 @@ Three cooperating pieces:
 * :mod:`repro.telemetry.analysis` — report generation over recorded
   traces (per-link delivery/drop breakdown, detection-latency
   percentiles, attack-vs-defense timeline), driving the
-  ``repro-worksite trace`` CLI subcommand.
+  ``repro-worksite trace`` CLI subcommand;
+* :mod:`repro.telemetry.spans` — the causal span layer: hierarchical
+  start/end records (mission phases, frame lifecycles, fault windows,
+  recovery intervals) with deterministic ids, plus span-tree
+  reconstruction, critical-path extraction and folded-stack flamegraph
+  export behind ``repro-worksite trace --analyze``.
 
 Every record is stamped with *simulated* time only, so the same scenario
 and seed always produce byte-identical trace files (asserted by
@@ -25,24 +30,48 @@ from repro.telemetry.schema import (
     DROP_CAUSES,
     RECORD_TYPES,
     SCHEMA_VERSION,
+    SPAN_KINDS,
     validate_record,
     validate_trace,
 )
-from repro.telemetry.tracer import Tracer, env_enabled, install, installed, uninstall
+from repro.telemetry.spans import (
+    SpanEmitter,
+    build_span_tree,
+    critical_path,
+    flamegraph_folded,
+    has_spans,
+    span_report,
+)
+from repro.telemetry.tracer import (
+    Tracer,
+    env_enabled,
+    env_spans_enabled,
+    install,
+    installed,
+    uninstall,
+)
 from repro.telemetry.writer import TraceWriter, canonical_line, read_trace
 
 __all__ = [
     "DROP_CAUSES",
     "RECORD_TYPES",
     "SCHEMA_VERSION",
+    "SPAN_KINDS",
+    "SpanEmitter",
     "TelemetryHub",
     "TraceWriter",
     "Tracer",
+    "build_span_tree",
     "canonical_line",
+    "critical_path",
     "env_enabled",
+    "env_spans_enabled",
+    "flamegraph_folded",
+    "has_spans",
     "install",
     "installed",
     "read_trace",
+    "span_report",
     "uninstall",
     "validate_record",
     "validate_trace",

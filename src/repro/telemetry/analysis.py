@@ -440,8 +440,12 @@ def full_report(records: Sequence[dict]) -> str:
     """All reports concatenated (what the CLI prints).
 
     The resilience block only appears when the trace actually contains
-    fault-campaign records, so fault-free report output is unchanged.
+    fault-campaign records, and the span block only when the trace was
+    recorded with the causal span layer armed — so report output for
+    plain traces is unchanged.
     """
+    from repro.telemetry.spans import has_spans, span_report
+
     reports = [
         link_report(records),
         latency_report(records),
@@ -450,4 +454,6 @@ def full_report(records: Sequence[dict]) -> str:
            for r in records):
         reports.append(resilience_report(records))
     reports.append(timeline_report(records))
+    if has_spans(records):
+        reports.append(span_report(records))
     return "\n\n".join(reports)

@@ -7,15 +7,22 @@ reachable from code), the env-gated :mod:`repro.perf` counters (their own
 :class:`TelemetryHub` registers any number of collectors plus an optional
 tracer and renders them as **one** JSON-serialisable snapshot, which is
 what ``repro-worksite run --metrics-json`` writes and what tests assert
-against.
+against.  The same registry also renders the Prometheus text exposition
+format (``run --metrics-prom``): counters map to ``counter`` samples,
+gauges to ``gauge``, series summaries to ``summary`` quantiles, and
+:class:`~repro.sim.metrics.Histogram` aggregates to cumulative
+``_bucket{le=...}`` families — so one scrape-ready file captures the
+whole run without a client-library dependency.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
+import re
 from pathlib import Path
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.perf import counters as perf
 from repro.sim.metrics import MetricsCollector
@@ -23,6 +30,27 @@ from repro.telemetry.schema import SCHEMA_VERSION
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.tracer import Tracer
+
+#: characters allowed in a Prometheus metric name; everything else
+#: collapses to "_" (labels are not used for metric identity here)
+_NAME_SANITISE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(*parts: str) -> str:
+    """Join name parts into a valid Prometheus metric name."""
+    name = _NAME_SANITISE.sub("_", "_".join(parts))
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prom_value(value: float) -> str:
+    """Render a sample value; Prometheus spells infinities ``+Inf``."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
 
 
 class TelemetryHub:
@@ -56,7 +84,7 @@ class TelemetryHub:
         metrics: Dict[str, dict] = {}
         for name in sorted(self._collectors):
             collector = self._collectors[name]
-            metrics[name] = {
+            section = {
                 "counters": collector.counters,
                 "gauges": collector.gauges,
                 "series": {
@@ -64,6 +92,13 @@ class TelemetryHub:
                     for series in collector.series_names()
                 },
             }
+            histograms = {
+                hist: collector.histogram(hist).as_dict()
+                for hist in collector.histogram_names()
+            }
+            if histograms:
+                section["histograms"] = histograms
+            metrics[name] = section
         snapshot = {"schema": SCHEMA_VERSION, "metrics": metrics}
         if perf.enabled():
             snapshot["perf"] = perf.snapshot()
@@ -79,4 +114,78 @@ class TelemetryHub:
             json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
+        return target
+
+    # -- Prometheus exposition ----------------------------------------------
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4).
+
+        Metric names are ``repro_<collector>_<metric>``; counters become
+        ``counter`` samples, gauges ``gauge``, series summaries ``summary``
+        (p50/p95 quantiles plus ``_sum``/``_count``), and histograms the
+        cumulative ``_bucket{le=...}`` family.  Deterministic: collectors
+        and metric names render in sorted order.
+        """
+        lines: List[str] = []
+
+        def emit(name: str, mtype: str, help_text: str) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {mtype}")
+
+        for collector_name in sorted(self._collectors):
+            collector = self._collectors[collector_name]
+            for metric in sorted(collector.counters):
+                name = _prom_name("repro", collector_name, metric, "total")
+                emit(name, "counter", f"Counter {metric!r} from "
+                     f"collector {collector_name!r}.")
+                lines.append(f"{name} {_prom_value(collector.counter(metric))}")
+            for metric in sorted(collector.gauges):
+                name = _prom_name("repro", collector_name, metric)
+                emit(name, "gauge", f"Gauge {metric!r} from "
+                     f"collector {collector_name!r}.")
+                lines.append(f"{name} {_prom_value(collector.gauge(metric))}")
+            for metric in collector.series_names():
+                summary = collector.summarize(metric)
+                name = _prom_name("repro", collector_name, metric)
+                emit(name, "summary", f"Series {metric!r} from "
+                     f"collector {collector_name!r}.")
+                lines.append(
+                    f'{name}{{quantile="0.5"}} {_prom_value(summary.p50)}'
+                )
+                lines.append(
+                    f'{name}{{quantile="0.95"}} {_prom_value(summary.p95)}'
+                )
+                lines.append(
+                    f"{name}_sum "
+                    f"{_prom_value(summary.mean * summary.count)}"
+                )
+                lines.append(f"{name}_count {summary.count}")
+            for metric in collector.histogram_names():
+                histogram = collector.histogram(metric)
+                name = _prom_name("repro", collector_name, metric)
+                emit(name, "histogram", f"Histogram {metric!r} from "
+                     f"collector {collector_name!r}.")
+                for bound, cum in histogram.cumulative():
+                    lines.append(
+                        f'{name}_bucket{{le="{_prom_value(bound)}"}} {cum}'
+                    )
+                lines.append(f"{name}_sum {_prom_value(histogram.total)}")
+                lines.append(f"{name}_count {histogram.count}")
+        if self._tracer is not None:
+            summary = self._tracer.summary()
+            name = _prom_name("repro", "trace", "records")
+            emit(name, "gauge", "Event records emitted by the tracer.")
+            lines.append(f"{name} {summary.get('records', 0)}")
+            spans = summary.get("spans")
+            if spans is not None:
+                name = _prom_name("repro", "trace", "span", "records")
+                emit(name, "gauge", "Span records emitted by the tracer.")
+                lines.append(f"{name} {spans.get('records', 0)}")
+        return "\n".join(lines) + "\n"
+
+    def export_prometheus(self, path: os.PathLike) -> Path:
+        """Write the Prometheus exposition; returns the written path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.render_prometheus(), encoding="utf-8")
         return target

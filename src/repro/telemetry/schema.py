@@ -11,6 +11,12 @@ when valid), which is what the CI telemetry-smoke job and the ``trace
 The schema is intentionally flat and additive: new optional fields may be
 added under the same version; removing or renaming a required field bumps
 :data:`SCHEMA_VERSION`.
+
+Span records (:data:`SPAN_TYPES`) are the one structural exception: they
+ride the same JSONL stream but carry their own ``si`` index instead of
+``i``, because the span layer is opt-in — interleaving spans must leave
+the ``i`` sequence of every non-span record untouched so a spans-on trace
+stays byte-identical to the spans-off trace on its non-span lines.
 """
 
 from __future__ import annotations
@@ -20,8 +26,16 @@ from typing import Dict, FrozenSet, List
 #: bumped when a required field is removed or renamed
 SCHEMA_VERSION = 1
 
-#: fields every record carries
+#: additive revision under the same major version; 1 added the causal
+#: span layer (span.start / span.end records with their own ``si`` index)
+SCHEMA_MINOR = 1
+
+#: fields every event record carries
 COMMON_FIELDS = ("v", "i", "t", "type")
+
+#: fields every span record carries (``si`` is the span-record index,
+#: a counter separate from ``i`` — see the module docstring)
+SPAN_COMMON_FIELDS = ("v", "si", "t", "type")
 
 #: why a frame or record never reached its consumer
 DROP_CAUSES: FrozenSet[str] = frozenset({
@@ -77,6 +91,25 @@ RECORD_TYPES: Dict[str, FrozenSet[str]] = {
     "service.up": frozenset({"service", "outage_s"}),
 }
 
+#: the causal hierarchy a span may belong to (see repro.telemetry.spans)
+SPAN_KINDS: FrozenSet[str] = frozenset({
+    "run",            # the whole traced run (root of the span tree)
+    "mission.phase",  # one machine's mission phase
+    "frame",          # frame lifecycle: tx -> delivered / drop
+    "record",         # secure-record lifecycle: seal -> open / drop
+    "attack",         # one attack window
+    "fault",          # one injected-fault window
+    "recovery",       # a machine's non-nominal mode excursion
+    "outage",         # one service down -> up episode
+})
+
+#: span record types (schema minor 1) with their required fields; ids are
+#: deterministic functions of (scenario seed, span-record index)
+SPAN_TYPES: Dict[str, FrozenSet[str]] = {
+    "span.start": frozenset({"span", "kind", "name"}),
+    "span.end": frozenset({"span", "kind", "dur_s"}),
+}
+
 #: record types whose ``cause`` field must come from :data:`DROP_CAUSES`
 _CAUSE_TYPES = ("frame.drop", "record.drop")
 
@@ -86,7 +119,8 @@ def validate_record(record: object) -> List[str]:
     if not isinstance(record, dict):
         return [f"record is {type(record).__name__}, expected object"]
     problems: List[str] = []
-    for name in COMMON_FIELDS:
+    is_span = record.get("type") in SPAN_TYPES
+    for name in SPAN_COMMON_FIELDS if is_span else COMMON_FIELDS:
         if name not in record:
             problems.append(f"missing common field {name!r}")
     version = record.get("v")
@@ -97,7 +131,7 @@ def validate_record(record: object) -> List[str]:
     rtype = record.get("type")
     if rtype is None:
         return problems
-    required = RECORD_TYPES.get(rtype)
+    required = SPAN_TYPES.get(rtype) if is_span else RECORD_TYPES.get(rtype)
     if required is None:
         problems.append(f"unknown record type {rtype!r}")
         return problems
@@ -108,6 +142,15 @@ def validate_record(record: object) -> List[str]:
         cause = record.get("cause")
         if cause is not None and cause not in DROP_CAUSES:
             problems.append(f"{rtype}: unknown drop cause {cause!r}")
+    if is_span:
+        kind = record.get("kind")
+        if kind is not None and kind not in SPAN_KINDS:
+            problems.append(f"{rtype}: unknown span kind {kind!r}")
+        si = record.get("si")
+        if si is not None and not isinstance(si, int):
+            problems.append(
+                f"{rtype}: si is {type(si).__name__}, expected integer"
+            )
     return problems
 
 

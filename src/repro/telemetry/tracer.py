@@ -40,6 +40,11 @@ def env_enabled() -> bool:
     return os.environ.get("REPRO_TRACE", "") not in ("", "0")
 
 
+def env_spans_enabled() -> bool:
+    """Whether ``REPRO_SPANS=1`` asks traced runs for the causal span layer."""
+    return os.environ.get("REPRO_SPANS", "") not in ("", "0")
+
+
 def install(tracer: "Tracer") -> None:
     """Make ``tracer`` the process-global tracer and arm the guards."""
     global ACTIVE, TRACER
@@ -89,6 +94,13 @@ class Tracer:
     keep_records:
         Keep every record in :attr:`records` (in-memory analysis).  Summary
         counters are maintained incrementally either way.
+    spans:
+        Arm the causal span layer (:mod:`repro.telemetry.spans`): a
+        :class:`~repro.telemetry.spans.SpanEmitter` derives hierarchical
+        ``span.start``/``span.end`` records from the event stream, with
+        their own ``si`` index so every non-span record stays
+        byte-identical to the spans-off trace.  The emitter is created by
+        :meth:`meta` (it needs the seed) and closed by :meth:`close`.
     """
 
     #: alerts this long after a window closes still count as detections
@@ -101,10 +113,13 @@ class Tracer:
         writer: Optional[TraceWriter] = None,
         *,
         keep_records: bool = False,
+        spans: bool = False,
     ) -> None:
         self.sim = sim
         self.writer = writer
         self.keep_records = keep_records
+        self.spans_enabled = bool(spans)
+        self._spans = None  # SpanEmitter, created lazily by meta()
         self.records: List[dict] = []
         self._index = 0
         self._windows: List[_Window] = []
@@ -136,15 +151,40 @@ class Tracer:
             # checked after the record is written: the engine observes the
             # stream and can never perturb it
             checks.CHECKER.observe(record)
+        if self._spans is not None:
+            # the span emitter also observes post-write, so span records
+            # always follow the event record they were derived from
+            # (dispatched directly: this runs once per event record)
+            handler = self._spans._dispatch.get(rtype)
+            if handler is not None:
+                handler(record)
+
+    def _emit_span(self, record: dict) -> None:
+        """Write one span record (emitter callback): no ``i``, no summary
+        counters, so the event stream is untouched by the span layer."""
+        if self.keep_records:
+            self.records.append(record)
+        if self.writer is not None:
+            self.writer.write(record)
+        if checks.ACTIVE:
+            checks.CHECKER.observe(record)
 
     def close(self) -> None:
-        """Flush and close the attached writer (if any)."""
+        """End open spans, then flush and close the attached writer."""
+        if self._spans is not None:
+            self._spans.close_all(round(self.sim.now, 6))
         if self.writer is not None:
             self.writer.close()
 
     # -- header -------------------------------------------------------------
     def meta(self, **fields) -> None:
         """Emit the header record (seed, profile, horizon, campaign, ...)."""
+        if self.spans_enabled and self._spans is None:
+            from repro.telemetry.spans import SpanEmitter
+
+            # created before the header is emitted so the run span opens
+            # on the trace.meta record itself
+            self._spans = SpanEmitter(self, fields.get("seed"))
         self._emit("trace.meta", schema=SCHEMA_VERSION, **fields)
 
     # -- frame lifecycle ------------------------------------------------------
@@ -371,5 +411,15 @@ class Tracer:
                 "mode_transitions": self._by_type.get("mode.transition", 0),
                 "service_outages": self._by_type.get("service.down", 0),
                 "service_recoveries": self._by_type.get("service.up", 0),
+            }
+        # only present when the span layer was armed, preserving the exact
+        # summary shape of spans-off runs (same pattern as resilience)
+        if self._spans is not None:
+            summary["spans"] = {
+                "records": self._spans.si,
+                "by_kind": dict(sorted(self._spans.by_kind.items())),
+                "open": (
+                    0 if self._spans.closed else self._spans.open_count
+                ),
             }
         return summary

@@ -38,9 +38,10 @@ class TestCatalogueDeterminism:
 
 
 def _stable(records):
-    """Sweep records without the wall-clock field (the only impure part)."""
+    """Sweep records without the impure fields (wall clock, worker pid)."""
     return [
-        {key: value for key, value in record.items() if key != "wall_s"}
+        {key: value for key, value in record.items()
+         if key not in ("wall_s", "pid")}
         for record in records
     ]
 

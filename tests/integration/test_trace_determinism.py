@@ -18,9 +18,9 @@ from repro.telemetry.schema import validate_trace
 HORIZON_S = 90.0
 
 
-def _traced_run(path, seed=11):
+def _traced_run(path, seed=11, spans=False):
     scenario = build_worksite(ScenarioConfig(seed=seed))
-    tracer = Tracer(scenario.sim, TraceWriter(path))
+    tracer = Tracer(scenario.sim, TraceWriter(path), spans=spans)
     tracer.meta(seed=seed, horizon_s=HORIZON_S, campaign="rf_jamming")
     campaign = build_campaign(
         "rf_jamming", scenario, start=20.0, duration=40.0
@@ -77,6 +77,58 @@ class TestTraceDeterminism:
         records = read_trace(path)
         times = [r["t"] for r in records]
         assert times == sorted(times)
+
+
+class TestSpanLayerDeterminism:
+    """The span layer's zero-perturbation contract: enabling spans adds
+    span records but leaves every event record byte-identical, and
+    span-augmented traces are themselves same-seed reproducible."""
+
+    SPAN_TYPES = ("span.start", "span.end")
+
+    def _lines(self, path):
+        return path.read_text(encoding="utf-8").splitlines()
+
+    def test_spans_on_same_seed_byte_identical(self, tmp_path):
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        _traced_run(first, spans=True)
+        _traced_run(second, spans=True)
+        a, b = first.read_bytes(), second.read_bytes()
+        assert len(a) > 0
+        assert a == b
+
+    def test_spans_do_not_perturb_event_records(self, tmp_path):
+        plain = tmp_path / "plain.jsonl"
+        spanned = tmp_path / "spanned.jsonl"
+        _traced_run(plain, spans=False)
+        _traced_run(spanned, spans=True)
+        span_lines = [
+            line for line in self._lines(spanned)
+            if '"type":"span.' in line
+        ]
+        event_lines = [
+            line for line in self._lines(spanned)
+            if '"type":"span.' not in line
+        ]
+        assert span_lines, "spans=True recorded no span records"
+        # the spans-off trace is exactly the spans-on trace minus spans
+        assert event_lines == self._lines(plain)
+
+    def test_spans_do_not_perturb_the_run(self, tmp_path):
+        plain = _traced_run(tmp_path / "plain.jsonl", spans=False)
+        spanned = _traced_run(tmp_path / "spanned.jsonl", spans=True)
+        assert spanned.summary() == plain.summary()
+
+    def test_span_trace_is_schema_valid_and_balanced(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _traced_run(path, spans=True)
+        records = read_trace(path)
+        assert validate_trace(records) == []
+        starts = [r for r in records if r["type"] == "span.start"]
+        ends = [r for r in records if r["type"] == "span.end"]
+        assert len(starts) == len(ends)
+        assert {r["span"] for r in starts} == {r["span"] for r in ends}
 
 
 # -- cross-campaign determinism matrix --------------------------------------

@@ -20,6 +20,7 @@ EXPECTED_REGISTRY = {
     "modes.transition_legality",
     "modes.rto_ordering",
     "ids.alert_attribution",
+    "telemetry.spans",
 }
 
 

@@ -117,6 +117,18 @@ class TestInvariantFolding:
         assert checks.ACTIVE is False and checks.CHECKER is None
         assert trace.ACTIVE is False and trace.TRACER is None
 
+    def test_checking_with_spans_is_clean(self, monkeypatch):
+        # the checker is armed before the tracer emits the header, so the
+        # span discipline invariant sees the run span open AND close
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_SPANS", "1")
+        record = execute_run(tiny_spec())
+        assert record["status"] == "ok"
+        invariants = record["result"]["invariants"]
+        assert invariants["violations"] == 0, invariants
+        assert invariants["checked"] == 10
+
     def test_checking_does_not_change_the_result(self, monkeypatch):
         monkeypatch.delenv("REPRO_CHECK", raising=False)
         baseline = execute_run(tiny_spec())["result"]

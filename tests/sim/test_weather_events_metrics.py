@@ -202,3 +202,140 @@ class TestMetrics:
         metrics.sample("b", 0.0, 1.0)
         metrics.sample("a", 0.0, 1.0)
         assert metrics.series_names() == ["a", "b"]
+
+
+class TestHistogram:
+    def test_empty(self):
+        from repro.sim.metrics import Histogram
+
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.as_dict()["count"] == 0
+
+    def test_count_sum_min_max(self):
+        from repro.sim.metrics import Histogram
+
+        histogram = Histogram()
+        for value in (0.001, 0.01, 0.1):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert abs(histogram.total - 0.111) < 1e-12
+        assert histogram.minimum == 0.001
+        assert histogram.maximum == 0.1
+
+    def test_memory_is_bounded(self):
+        from repro.sim.metrics import Histogram
+
+        histogram = Histogram()
+        buckets = len(histogram.counts)
+        for i in range(10_000):
+            histogram.observe(0.001 * (1 + i % 97))
+        assert len(histogram.counts) == buckets
+        assert histogram.count == 10_000
+
+    def test_quantiles_are_ordered_and_bracketed(self):
+        from repro.sim.metrics import Histogram
+
+        histogram = Histogram()
+        for i in range(1, 1001):
+            histogram.observe(i / 1000.0)
+        p50, p95, p99 = (
+            histogram.quantile(q) for q in (0.50, 0.95, 0.99)
+        )
+        assert p50 <= p95 <= p99 <= histogram.maximum
+        # log-spaced buckets: estimates land within a bucket's width
+        assert 0.3 < p50 < 0.8
+        assert 0.8 < p99 <= 1.0
+
+    def test_out_of_range_values_still_counted(self):
+        from repro.sim.metrics import Histogram
+
+        histogram = Histogram(lower=1e-3, upper=1e3)
+        histogram.observe(1e-9)   # below: first bucket
+        histogram.observe(1e9)    # above: overflow bucket
+        assert histogram.count == 2
+        cumulative = histogram.cumulative()
+        assert cumulative[-1] == (float("inf"), 2)
+
+    def test_merge(self):
+        from repro.sim.metrics import Histogram
+
+        a, b = Histogram(), Histogram()
+        a.observe(0.01)
+        b.observe(0.1)
+        b.observe(1.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.maximum == 1.0
+
+    def test_merge_rejects_different_buckets(self):
+        from repro.sim.metrics import Histogram
+
+        a = Histogram()
+        b = Histogram(lower=1e-3)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_invalid_configuration_rejected(self):
+        from repro.sim.metrics import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram(lower=0.0)
+        with pytest.raises(ValueError):
+            Histogram(lower=1.0, upper=0.5)
+
+
+class TestRateWindow:
+    def test_rate_over_full_window(self):
+        from repro.sim.metrics import RateWindow
+
+        window = RateWindow(window_s=60.0, slots=60)
+        for t in range(120):
+            window.add(float(t))
+        # 60 events inside the trailing 60 s window
+        assert abs(window.rate(119.0) - 1.0) < 0.05
+
+    def test_old_slots_expire(self):
+        from repro.sim.metrics import RateWindow
+
+        window = RateWindow(window_s=10.0, slots=10)
+        window.add(0.0, amount=100.0)
+        assert window.rate(5.0) > 0.0
+        assert window.rate(100.0) == 0.0
+
+    def test_partial_window_not_diluted(self):
+        from repro.sim.metrics import RateWindow
+
+        window = RateWindow(window_s=60.0, slots=60)
+        window.add(0.5)
+        window.add(1.5)
+        # 2 events in ~2 s of elapsed time, not 2/60
+        assert window.rate(2.0) == pytest.approx(1.0)
+
+    def test_invalid_configuration_rejected(self):
+        from repro.sim.metrics import RateWindow
+
+        with pytest.raises(ValueError):
+            RateWindow(window_s=0.0)
+        with pytest.raises(ValueError):
+            RateWindow(slots=0)
+
+
+class TestCollectorHistograms:
+    def test_observe_creates_and_accumulates(self):
+        metrics = MetricsCollector()
+        metrics.observe("latency_s", 0.01)
+        metrics.observe("latency_s", 0.02)
+        assert metrics.histogram("latency_s").count == 2
+        assert metrics.histogram("missing") is None
+        assert metrics.histogram_names() == ["latency_s"]
+
+    def test_merge_folds_histograms(self):
+        a, b = MetricsCollector(), MetricsCollector()
+        a.observe("h", 0.01)
+        b.observe("h", 0.1)
+        b.observe("only_b", 1.0)
+        a.merge(b)
+        assert a.histogram("h").count == 2
+        assert a.histogram("only_b").count == 1

@@ -82,3 +82,83 @@ class TestExport:
         assert written == target
         loaded = json.loads(target.read_text())
         assert loaded == hub.snapshot()
+
+
+class TestHistogramSection:
+    def test_histograms_appear_in_snapshot(self):
+        collector = MetricsCollector()
+        for value in (0.001, 0.002, 0.004):
+            collector.observe("latency_s", value)
+        hub = TelemetryHub()
+        hub.register_collector("a", collector)
+        section = hub.snapshot()["metrics"]["a"]
+        assert section["histograms"]["latency_s"]["count"] == 3
+        assert section["histograms"]["latency_s"]["p50"] > 0
+
+    def test_no_histogram_key_without_observations(self, collector):
+        hub = TelemetryHub()
+        hub.register_collector("a", collector)
+        assert "histograms" not in hub.snapshot()["metrics"]["a"]
+
+
+class TestPrometheus:
+    def _hub(self):
+        collector = MetricsCollector()
+        collector.increment("frames.sent", 10)
+        collector.set_gauge("delivery.ratio", 0.9)
+        collector.sample("speed", 1.0, 1.0)
+        collector.sample("speed", 2.0, 3.0)
+        collector.observe("latency_s", 0.002)
+        collector.observe("latency_s", 0.004)
+        hub = TelemetryHub()
+        hub.register_collector("worksite", collector)
+        return hub
+
+    def test_counter_gauge_summary_families(self):
+        text = self._hub().render_prometheus()
+        assert "# TYPE repro_worksite_frames_sent_total counter" in text
+        assert "repro_worksite_frames_sent_total 10" in text
+        assert "# TYPE repro_worksite_delivery_ratio gauge" in text
+        assert "# TYPE repro_worksite_speed summary" in text
+        assert 'repro_worksite_speed{quantile="0.5"}' in text
+        assert "repro_worksite_speed_count 2" in text
+
+    def test_histogram_family_is_cumulative(self):
+        text = self._hub().render_prometheus()
+        assert "# TYPE repro_worksite_latency_s histogram" in text
+        buckets = [
+            line for line in text.splitlines()
+            if line.startswith("repro_worksite_latency_s_bucket")
+        ]
+        assert buckets[-1] == 'repro_worksite_latency_s_bucket{le="+Inf"} 2'
+        counts = [int(b.rsplit(" ", 1)[1]) for b in buckets]
+        assert counts == sorted(counts)
+        assert "repro_worksite_latency_s_count 2" in text
+
+    def test_names_are_sanitised(self):
+        text = self._hub().render_prometheus()
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            assert all(
+                c.isalnum() or c in "_:" for c in name
+            ), name
+
+    def test_deterministic_output(self):
+        assert self._hub().render_prometheus() == \
+            self._hub().render_prometheus()
+
+    def test_export_prometheus_writes_file(self, tmp_path):
+        target = tmp_path / "deep" / "metrics.prom"
+        written = self._hub().export_prometheus(target)
+        assert written == target
+        assert target.read_text() == self._hub().render_prometheus()
+
+    def test_trace_section(self):
+        hub = self._hub()
+        tracer = Tracer(Simulator())
+        tracer.meta(seed=1)
+        hub.set_tracer(tracer)
+        text = hub.render_prometheus()
+        assert "repro_trace_records 1" in text

@@ -4,6 +4,7 @@ from repro.telemetry.schema import (
     DROP_CAUSES,
     RECORD_TYPES,
     SCHEMA_VERSION,
+    SPAN_KINDS,
     validate_record,
     validate_trace,
 )
@@ -11,6 +12,12 @@ from repro.telemetry.schema import (
 
 def _record(rtype, **fields):
     base = {"v": SCHEMA_VERSION, "i": 0, "t": 0.0, "type": rtype}
+    base.update(fields)
+    return base
+
+
+def _span_record(rtype, **fields):
+    base = {"v": SCHEMA_VERSION, "si": 0, "t": 0.0, "type": rtype}
     base.update(fields)
     return base
 
@@ -66,6 +73,55 @@ class TestValidateRecord:
         record = _record("attack.start", attack="j", attack_type="rf_jamming")
         record["t"] = "noon"
         assert any("expected number" in p for p in validate_record(record))
+
+
+class TestSpanRecords:
+    def test_valid_span_start_and_end(self):
+        start = _span_record(
+            "span.start", span="abcd1234-000000", kind="run", name="run:x",
+        )
+        end = _span_record(
+            "span.end", span="abcd1234-000000", kind="run", dur_s=1.5, si=1,
+        )
+        assert validate_record(start) == []
+        assert validate_record(end) == []
+
+    def test_span_records_need_si_not_i(self):
+        record = _span_record(
+            "span.start", span="s", kind="run", name="n",
+        )
+        del record["si"]
+        assert any("'si'" in p for p in validate_record(record))
+
+    def test_span_si_must_be_an_integer(self):
+        record = _span_record(
+            "span.start", span="s", kind="run", name="n", si="zero",
+        )
+        assert any("si" in p for p in validate_record(record))
+
+    def test_unknown_span_kind_rejected(self):
+        record = _span_record(
+            "span.start", span="s", kind="teleport", name="n",
+        )
+        assert any("kind" in p for p in validate_record(record))
+
+    def test_every_declared_kind_accepted(self):
+        for kind in SPAN_KINDS:
+            record = _span_record(
+                "span.start", span="s", kind=kind, name="n",
+            )
+            assert validate_record(record) == [], kind
+
+    def test_span_end_requires_duration(self):
+        record = _span_record("span.end", span="s", kind="run")
+        assert any("dur_s" in p for p in validate_record(record))
+
+    def test_parent_field_is_optional_extra(self):
+        record = _span_record(
+            "span.start", span="s", kind="frame", name="a->b:1",
+            parent="abcd1234-000000",
+        )
+        assert validate_record(record) == []
 
 
 class TestValidateTrace:

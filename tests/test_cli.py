@@ -44,6 +44,34 @@ class TestParser:
         assert args.metrics_interval == 2.0
         assert build_parser().parse_args(["run"]).metrics_json is None
 
+    def test_run_metrics_prom_and_interval_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.metrics_prom is None
+        # None (not a number) so cmd_run can tell "not passed" apart
+        # from an explicit interval and reject the dead-flag combination
+        assert args.metrics_interval is None
+
+    def test_trace_span_flags(self):
+        args = build_parser().parse_args(["trace"])
+        assert not args.spans
+        assert args.flamegraph is None
+        args = build_parser().parse_args(
+            ["trace", "--spans", "--analyze", "t.jsonl",
+             "--flamegraph", "t.folded"]
+        )
+        assert args.spans
+        assert args.flamegraph == "t.folded"
+
+    def test_status_parser(self):
+        args = build_parser().parse_args(["status", "out/sweep"])
+        assert args.path == "out/sweep"
+
+    def test_progress_flags(self):
+        assert not build_parser().parse_args(["sweep"]).progress
+        assert build_parser().parse_args(["sweep", "--progress"]).progress
+        assert not build_parser().parse_args(["fuzz"]).progress
+        assert build_parser().parse_args(["fuzz", "--progress"]).progress
+
     def test_trace_defaults(self):
         args = build_parser().parse_args(["trace"])
         assert args.out == "out/trace.jsonl"
@@ -162,6 +190,42 @@ class TestTraceCommand:
         assert main(["trace", "--analyze", str(bad), "--check"]) == 1
         assert "schema:" in capsys.readouterr().err
 
+    def test_trace_spans_records_and_analyzes(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.jsonl")
+        assert main([
+            "trace", "--seed", "11", "--minutes", "2",
+            "--campaign", "rf_jamming", "--start", "20", "--duration", "60",
+            "--out", out, "--spans", "--check",
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "span records" in text
+        assert "records valid" in text       # span records pass the schema
+        assert "span analysis" in text
+        assert "critical path:" in text
+        folded = tmp_path / "trace.folded"
+        assert main(["trace", "--analyze", out,
+                     "--flamegraph", str(folded)]) == 0
+        capsys.readouterr()
+        lines = folded.read_text().splitlines()
+        assert lines
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+
+    def test_flamegraph_requires_analyze(self, tmp_path, capsys):
+        assert main(["trace", "--flamegraph",
+                     str(tmp_path / "t.folded")]) == 2
+        assert "--flamegraph requires --analyze" in capsys.readouterr().err
+
+    def test_flamegraph_rejects_spanless_trace(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.jsonl")
+        assert main([
+            "trace", "--seed", "3", "--minutes", "1", "--out", out,
+            "--no-report",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--analyze", out,
+                     "--flamegraph", str(tmp_path / "t.folded")]) == 2
+        assert "no span records" in capsys.readouterr().err
+
 
 class TestRunMetricsJson:
     def test_run_writes_metrics_snapshot(self, tmp_path, capsys):
@@ -180,6 +244,23 @@ class TestRunMetricsJson:
         series = worksite["series"]["comms.delivery_ratio"]
         assert series["count"] > 0
         assert {"p50", "p95"} <= set(series)
+
+    def test_run_writes_prometheus_exposition(self, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        assert main([
+            "run", "--seed", "3", "--minutes", "2",
+            "--metrics-prom", str(out),
+        ]) == 0
+        assert "metrics (prom):" in capsys.readouterr().out
+        text = out.read_text()
+        assert "# TYPE repro_worksite_comms_frames_sent_total counter" in text
+        assert 'quantile="0.95"' in text
+
+    def test_metrics_interval_without_output_is_an_error(self, capsys):
+        assert main(["run", "--minutes", "1",
+                     "--metrics-interval", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "--metrics-interval has no effect" in err
 
 
 class TestSweepCommand:
@@ -218,6 +299,48 @@ class TestSweepCommand:
                      "--out", str(tmp_path / "s.jsonl"), "--quiet",
                      "--no-table"]) == 0
         assert "1 runs" in capsys.readouterr().out
+
+    def test_sweep_writes_status_json(self, tmp_path, capsys):
+        import json
+
+        assert main(["sweep", *self.SMALL, "--quiet", "--no-table",
+                     "--out", str(tmp_path / "sweep.jsonl")]) == 0
+        capsys.readouterr()
+        status = json.loads((tmp_path / "status.json").read_text())
+        assert status["total"] == 2
+        assert status["done"] == 2
+        assert status["pending"] == 0
+        assert status["kind"] == "sweep"
+
+    def test_sweep_progress_prints_summary_lines(self, tmp_path, capsys):
+        assert main(["sweep", *self.SMALL, "--no-table", "--progress",
+                     "--out", str(tmp_path / "sweep.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "[sweep] 2/2 done" in out
+
+
+class TestStatusCommand:
+    def test_status_of_finished_sweep(self, tmp_path, capsys):
+        assert main(["sweep", "--campaigns", "baseline", "--seeds", "11",
+                     "--minutes", "1", "--quiet", "--no-table",
+                     "--out", str(tmp_path / "sweep.jsonl")]) == 0
+        capsys.readouterr()
+        assert main(["status", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: sweep" in out
+        assert "1/1 done" in out
+
+    def test_status_accepts_the_file_itself(self, tmp_path, capsys):
+        assert main(["sweep", "--campaigns", "baseline", "--seeds", "11",
+                     "--minutes", "1", "--quiet", "--no-table",
+                     "--out", str(tmp_path / "sweep.jsonl")]) == 0
+        capsys.readouterr()
+        assert main(["status", str(tmp_path / "status.json")]) == 0
+        assert "1/1 done" in capsys.readouterr().out
+
+    def test_status_missing_file_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path)]) == 2
+        assert "not found" in capsys.readouterr().err
 
 
 class TestCheckCommand:
@@ -323,3 +446,16 @@ class TestRunWithChecking:
         assert meta["type"] == "trace.meta"
         assert meta["spec"]["seed"] == 11
         assert meta["spec"]["campaign"] == "rf_jamming"
+
+    def test_spanned_trace_under_repro_check_is_clean(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        # the online engine must observe the header (run span) and the
+        # close (end-of-trace span ends), or span discipline false-fires
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        out = str(tmp_path / "trace.jsonl")
+        assert main([
+            "trace", "--seed", "11", "--minutes", "1", "--spans",
+            "--out", out, "--no-report",
+        ]) == 0
+        assert "10 checked, 0 violation(s)" in capsys.readouterr().out

@@ -338,6 +338,102 @@ def bench_fig1_worksite(
 
 
 # --------------------------------------------------------------------------
+# observability-plane benches (--obs -> BENCH_PR8.json)
+# --------------------------------------------------------------------------
+
+def bench_span_overhead(
+    horizon_s: float = 120.0, seed: int = 11, repeats: int = 5
+) -> dict:
+    """Traced fig1 worksite run, spans off vs on (writer-less tracer).
+
+    The span emitter rides the tracer's emit hook, so this isolates the
+    marginal cost of the span layer on an already-traced run — the number
+    the <5 % budget in docs/observability.md is about.
+    """
+    from repro.scenarios.worksite import ScenarioConfig, build_worksite
+    from repro.telemetry import Tracer, installed
+
+    def timed_run(spans: bool) -> tuple:
+        best = float("inf")
+        span_records = 0
+        for _ in range(max(1, repeats)):
+            scenario = build_worksite(ScenarioConfig(seed=seed))
+            tracer = Tracer(scenario.sim, spans=spans)
+            tracer.meta(seed=seed, horizon_s=horizon_s)
+            t0 = time.perf_counter()
+            with installed(tracer):
+                scenario.run(horizon_s)
+            tracer.close()
+            best = min(best, time.perf_counter() - t0)
+            span_records = tracer.summary().get("spans", {}).get("records", 0)
+        return best, span_records
+
+    off, _ = timed_run(False)
+    on, span_records = timed_run(True)
+    return {
+        "seed": seed,
+        "horizon_s": horizon_s,
+        "repeats": max(1, repeats),
+        "spans_off_wall_s": round(off, 4),
+        "spans_on_wall_s": round(on, 4),
+        "span_records": span_records,
+        "overhead_pct": round((on - off) / off * 100.0, 2),
+    }
+
+
+def bench_histogram_observe(n: int = 100_000) -> dict:
+    """Hot-path cost of Histogram.observe and a full quantile read-out."""
+    from repro.sim.metrics import Histogram
+
+    values = [0.0001 * (1 + i % 997) for i in range(n)]
+
+    def fill():
+        histogram = Histogram()
+        for value in values:
+            histogram.observe(value)
+        return histogram
+
+    per_fill = _best_of(fill, repeats=3)
+    histogram = fill()
+    per_quantiles = _best_of(
+        lambda: (histogram.quantile(0.5), histogram.quantile(0.95),
+                 histogram.quantile(0.99)),
+        inner=200,
+    )
+    return {
+        "observations": n,
+        "observe_ns": round(per_fill / n * 1e9, 1),
+        "quantile_readout_us": round(per_quantiles * 1e6, 3),
+        "buckets": len(histogram.counts),
+    }
+
+
+def bench_prometheus_render(n_collectors: int = 8, n_metrics: int = 16) -> dict:
+    """Full hub -> Prometheus text exposition for a mid-sized registry."""
+    from repro.sim.metrics import MetricsCollector
+    from repro.telemetry.hub import TelemetryHub
+
+    hub = TelemetryHub()
+    for c in range(n_collectors):
+        collector = MetricsCollector()
+        for m in range(n_metrics):
+            collector.increment(f"counter_{m}", m + 1)
+            collector.set_gauge(f"gauge_{m}", m * 0.5)
+            collector.sample(f"series_{m}", float(m), float(m))
+            collector.observe(f"hist_{m}", 0.001 * (m + 1))
+        hub.register_collector(f"c{c}", collector)
+
+    per_render = _best_of(hub.render_prometheus, inner=20)
+    lines = len(hub.render_prometheus().splitlines())
+    return {
+        "collectors": n_collectors,
+        "metrics_per_collector": n_metrics,
+        "render_ms": round(per_render * 1e3, 3),
+        "exposition_lines": lines,
+    }
+
+
+# --------------------------------------------------------------------------
 # thresholds for --check (generous: catch regressions, not machine noise)
 # --------------------------------------------------------------------------
 
@@ -354,6 +450,11 @@ CHECKS = (
 )
 
 
+# span layer must stay under 5 % of traced-run wall clock (the budget
+# documented in docs/observability.md); generous for single-vCPU jitter
+OBS_OVERHEAD_CEILING_PCT = 5.0
+
+
 def run_checks(micro: dict) -> list:
     failures = []
     for bench, key, floor in CHECKS:
@@ -363,14 +464,31 @@ def run_checks(micro: dict) -> list:
     return failures
 
 
+def run_obs_checks(obs: dict) -> list:
+    failures = []
+    value = obs.get("span_overhead", {}).get("overhead_pct")
+    if value is None or value >= OBS_OVERHEAD_CEILING_PCT:
+        failures.append(
+            f"span_overhead.overhead_pct = {value} at or above ceiling "
+            f"{OBS_OVERHEAD_CEILING_PCT}"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_PR2.json")
+    parser.add_argument("--out", default=None,
+                        help="result file (default BENCH_PR2.json, or "
+                             "BENCH_PR8.json with --obs)")
     parser.add_argument("--record", choices=("baseline", "current"),
                         default="current",
                         help="key to write the measurements under")
     parser.add_argument("--check", action="store_true",
                         help="fail on crypto/medium throughput regressions")
+    parser.add_argument("--obs", action="store_true",
+                        help="run the observability-plane benches (span "
+                             "overhead, histogram, Prometheus render) instead "
+                             "of the comms hot paths")
     parser.add_argument("--skip-macro", action="store_true",
                         help="skip the fig1 worksite wall-clock bench")
     parser.add_argument("--macro-horizon", type=float, default=300.0,
@@ -378,6 +496,40 @@ def main(argv=None) -> int:
     parser.add_argument("--macro-repeats", type=int, default=3,
                         help="macro bench repetitions (best-of)")
     args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = "BENCH_PR8.json" if args.obs else "BENCH_PR2.json"
+
+    if args.obs:
+        print("benchmarking observability plane ...", flush=True)
+        obs = {
+            "span_overhead": bench_span_overhead(
+                args.macro_horizon if args.macro_horizon != 300.0 else 120.0,
+                # best-of-5 floor: the delta is a few ms, so jitter on
+                # shared CI hosts needs more samples than the macro bench
+                repeats=max(args.macro_repeats, 5),
+            ),
+            "histogram": bench_histogram_observe(),
+            "prometheus_render": bench_prometheus_render(),
+        }
+        for name, result in obs.items():
+            print(f"  {name}: {json.dumps(result)}")
+        out = Path(args.out)
+        payload = json.loads(out.read_text()) if out.exists() else {}
+        payload[args.record] = {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "obs": obs,
+        }
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.record!r} record to {out}")
+        if args.check:
+            failures = run_obs_checks(obs)
+            if failures:
+                for failure in failures:
+                    print(f"REGRESSION: {failure}", file=sys.stderr)
+                return 1
+            print("span overhead within budget")
+        return 0
 
     print("benchmarking micro hot paths ...", flush=True)
     micro = {
