@@ -16,14 +16,26 @@ Subcommands
     List the available attack campaigns.
 ``sweep``
     Fan a campaign × seed × profile grid across a process pool, cache
-    completed runs in a JSONL store, and print the aggregate table.
-    Writes live progress into ``status.json`` next to the store;
-    ``--progress`` additionally prints a one-line progress summary as
-    cells complete.
+    completed runs in a JSONL store (or, with ``--campaign-db``, the
+    durable SQLite campaign store), and print the aggregate table.
+    Execution is self-healing: killed workers resurrect the pool,
+    lost/timed-out cells retry with deterministic backoff
+    (``--max-attempts`` / ``--cell-timeout``).  Writes live progress
+    into ``status.json`` next to the store; ``--progress`` additionally
+    prints a one-line progress summary as cells complete.
+``campaign``
+    The durable campaign service over the SQLite (WAL) store:
+    ``campaign start`` creates a named campaign from a sweep grid (or
+    imports a legacy JSONL store with ``--from-jsonl``) and runs it;
+    ``campaign resume`` re-opens a partially-run campaign — after a
+    crash, a SIGKILLed driver, or a deliberate stop — and completes
+    only the missing cells; ``campaign list`` / ``campaign show``
+    query campaigns, per-cell lifecycle and the full attempt history
+    (every retry, timeout and lost worker is a row in the DB).
 ``status``
     Read the ``status.json`` a running (or finished) sweep/fuzz campaign
     maintains and print done/running/pending counts, throughput, ETA,
-    per-worker liveness and stall warnings.
+    per-worker liveness, retry/stall totals and stall warnings.
 ``profile``
     Run the worksite under cProfile, print the hottest functions, and
     optionally (``--perf``) the :mod:`repro.perf` counter report.
@@ -71,6 +83,15 @@ Examples::
     repro-worksite sweep --campaigns all --n-seeds 3 --jobs 4 --resume
     repro-worksite sweep --spec examples/sweep_grid.toml --jobs 8
     repro-worksite sweep --fault-campaign crash_brownout --n-seeds 3
+    repro-worksite sweep --campaigns all --n-seeds 3 --jobs 4 \
+        --campaign-db out/campaigns.db --cell-timeout 600
+    repro-worksite campaign start nightly --db out/campaigns.db \
+        --campaigns all --n-seeds 3 --jobs 4
+    repro-worksite campaign resume nightly --db out/campaigns.db --jobs 4
+    repro-worksite campaign list --db out/campaigns.db
+    repro-worksite campaign show nightly --db out/campaigns.db --attempts
+    repro-worksite campaign start legacy --db out/campaigns.db \
+        --from-jsonl out/sweep.jsonl
     repro-worksite profile --minutes 5 --sort tottime --perf
     repro-worksite trace --campaign rf_jamming --minutes 5 --check
     repro-worksite trace --fault-campaign crash_brownout --minutes 2
@@ -647,6 +668,39 @@ def _sweep_spec_from_args(args) -> "SweepSpec":
     return spec
 
 
+def _retry_policy_from_args(args) -> "Optional[CellRetryPolicy]":
+    """The cell retry policy requested by ``--max-attempts`` (or None for
+    the engine default)."""
+    if getattr(args, "max_attempts", None) is None:
+        return None
+    from repro.runner import CellRetryPolicy
+
+    if args.max_attempts < 1:
+        raise ValueError(
+            f"--max-attempts must be >= 1, got {args.max_attempts}"
+        )
+    return CellRetryPolicy(max_attempts=args.max_attempts)
+
+
+def _print_sweep_outcome(report, status_path) -> None:
+    """The shared exit summary: totals plus self-healing activity."""
+    print(f"done: {report.executed} executed, {report.cached} cached, "
+          f"{report.failed} failed in {report.wall_s:.1f} s")
+    retried_cells = sum(1 for n in report.attempts.values() if n > 1)
+    print(f"attempts:         {report.total_attempts} over "
+          f"{report.executed} executed cell(s); {retried_cells} cell(s) "
+          f"retried ({report.retries} requeued attempts), "
+          f"{report.stalls} stall warning(s)")
+    print(f"status:           {status_path}")
+    for record in report.failures():
+        attempts = record.get("attempts")
+        suffix = f" after {attempts} attempt(s)" if attempts else ""
+        print(f"  FAILED {record['spec'].get('campaign')} "
+              f"seed={record['spec'].get('seed')}{suffix}: "
+              f"{record.get('error')}",
+              file=sys.stderr)
+
+
 def cmd_sweep(args) -> int:
     from repro.runner import (
         ResultStore,
@@ -662,6 +716,7 @@ def cmd_sweep(args) -> int:
         return 2
     try:
         spec = _sweep_spec_from_args(args)
+        policy = _retry_policy_from_args(args)
     except (ValueError, OSError) as exc:
         print(f"sweep spec error: {exc}", file=sys.stderr)
         return 2
@@ -669,9 +724,21 @@ def cmd_sweep(args) -> int:
     if not specs:
         print("sweep spec expands to zero runs", file=sys.stderr)
         return 2
-    store = ResultStore(args.out)
+    if args.campaign_db:
+        from repro.runner import CampaignStore
+
+        campaign_store = CampaignStore(args.campaign_db)
+        name = args.campaign_name
+        campaign_store.ensure_campaign(name, specs,
+                                       meta={"source": "sweep"})
+        store = campaign_store.bind(name)
+        status_path = Path(args.campaign_db).parent / "status.json"
+        store_label = f"{args.campaign_db} (campaign {name!r})"
+    else:
+        store = ResultStore(args.out)
+        status_path = Path(args.out).parent / "status.json"
+        store_label = args.out
     monitor = SweepMonitor()
-    status_path = Path(args.out).parent / "status.json"
     if args.progress and not args.quiet:
         def progress(line):
             print(line, flush=True)
@@ -683,23 +750,162 @@ def cmd_sweep(args) -> int:
     print(f"sweep: {len(specs)} runs "
           f"({len(spec.campaigns)} campaigns x {len(spec.resolved_seeds())} "
           f"seeds x {len(spec.profiles)} profiles), jobs={args.jobs}, "
-          f"store={args.out}")
+          f"store={store_label}")
     runner = SweepRunner(jobs=args.jobs, store=store, progress=progress,
+                         retry_policy=policy,
+                         cell_timeout_s=args.cell_timeout,
                          monitor=monitor, status_path=status_path)
     report = runner.run(specs, resume=args.resume)
-    print(f"done: {report.executed} executed, {report.cached} cached, "
-          f"{report.failed} failed in {report.wall_s:.1f} s")
-    print(f"status:           {status_path}")
-    for record in report.failures():
-        print(f"  FAILED {record['spec'].get('campaign')} "
-              f"seed={record['spec'].get('seed')}: {record.get('error')}",
-              file=sys.stderr)
+    _print_sweep_outcome(report, status_path)
     if not args.no_table:
         aggregate_table(
             report.records,
             title=f"sweep aggregate over {len(spec.resolved_seeds())} seed(s)",
         ).print()
     return 1 if report.failed else 0
+
+
+def _run_campaign(store, name, specs, args) -> int:
+    """Execute (or complete) a campaign's cells through the engine."""
+    from repro.runner import SweepMonitor, SweepRunner, aggregate_table
+
+    try:
+        policy = _retry_policy_from_args(args)
+    except ValueError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    monitor = SweepMonitor()
+    status_path = Path(args.db).parent / "status.json"
+    progress = (
+        None if args.quiet else lambda line: print(line, flush=True)
+    )
+    print(f"campaign {name!r}: {len(specs)} cell(s), jobs={args.jobs}, "
+          f"db={args.db}")
+    runner = SweepRunner(jobs=args.jobs, store=store.bind(name),
+                         retry_policy=policy,
+                         cell_timeout_s=args.cell_timeout,
+                         progress=progress, monitor=monitor,
+                         status_path=status_path)
+    # resume semantics always: cells already ok in the store are final
+    report = runner.run(specs, resume=True)
+    _print_sweep_outcome(report, status_path)
+    if not args.no_table:
+        aggregate_table(
+            report.records, title=f"campaign {name!r} aggregate",
+        ).print()
+    return 1 if report.failed else 0
+
+
+def _grid_requested(args) -> bool:
+    """Whether any sweep-grid flag was explicitly given."""
+    return any(
+        getattr(args, flag, None) not in (None, False)
+        for flag in ("spec", "campaigns", "seeds", "base_seed", "n_seeds",
+                     "minutes", "profiles", "start", "duration",
+                     "fault_campaign")
+    )
+
+
+def cmd_campaign_start(args) -> int:
+    from repro.runner import CampaignStore
+
+    if args.jobs < 1:
+        print(f"campaign error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    store = CampaignStore(args.db)
+    if store.campaign_id(args.name) is not None:
+        print(f"campaign {args.name!r} already exists in {args.db}; "
+              "use 'campaign resume' to continue it", file=sys.stderr)
+        return 2
+    if not args.from_jsonl and not _grid_requested(args):
+        print("campaign start: give a sweep grid (--campaigns, "
+              "--spec, ...) or --from-jsonl PATH", file=sys.stderr)
+        return 2
+    specs = []
+    if _grid_requested(args):
+        try:
+            specs = _sweep_spec_from_args(args).expand()
+        except (ValueError, OSError) as exc:
+            print(f"campaign error: {exc}", file=sys.stderr)
+            return 2
+    store.ensure_campaign(args.name, specs, meta={"source": "campaign-cli"})
+    if args.from_jsonl:
+        try:
+            imported = store.import_jsonl(args.from_jsonl, args.name)
+        except (OSError, KeyError, ValueError) as exc:
+            print(f"campaign import error: {exc}", file=sys.stderr)
+            return 2
+        print(f"imported {imported['cells']} cell(s) from "
+              f"{args.from_jsonl} ({imported['ok']} ok, "
+              f"{imported['failed']} failed)")
+    return _run_campaign(store, args.name, store.specs(args.name), args)
+
+
+def cmd_campaign_resume(args) -> int:
+    from repro.runner import CampaignStore
+
+    if args.jobs < 1:
+        print(f"campaign error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    store = CampaignStore(args.db)
+    try:
+        specs = store.specs(args.name)
+    except ValueError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    return _run_campaign(store, args.name, specs, args)
+
+
+def cmd_campaign_list(args) -> int:
+    from repro.runner import CampaignStore
+
+    store = CampaignStore(args.db)
+    campaigns = store.list_campaigns()
+    if not campaigns:
+        print(f"no campaigns in {args.db}")
+        return 0
+    header = (f"{'name':<24} {'cells':>6} {'ok':>5} {'failed':>7} "
+              f"{'pending':>8} {'attempts':>9}")
+    print(header)
+    print("-" * len(header))
+    for campaign in campaigns:
+        print(f"{campaign['name']:<24} {campaign['cells']:>6} "
+              f"{campaign['ok']:>5} {campaign['failed']:>7} "
+              f"{campaign['pending']:>8} {campaign['attempts']:>9}")
+    return 0
+
+
+def cmd_campaign_show(args) -> int:
+    from repro.runner import CampaignStore
+
+    store = CampaignStore(args.db)
+    try:
+        detail = store.show(args.name)
+    except ValueError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    print(f"campaign: {detail['name']}")
+    print(f"cells:    {detail['cells']} total, {detail['ok']} ok, "
+          f"{detail['failed']} failed, {detail['pending']} pending")
+    print(f"attempts: {detail['attempts']} recorded")
+    for cell in detail["cells_detail"]:
+        line = (f"  {cell['key']}  {cell['status']:<8} "
+                f"attempts={cell['attempts']}  {cell['label']}")
+        if cell["status"] != "ok" and cell.get("last_error"):
+            line += f"  [{cell['last_error']}]"
+        print(line)
+    if args.attempts:
+        print("attempt history:")
+        for row in store.attempts(args.name):
+            error = f"  [{row['error']}]" if row.get("error") else ""
+            wall = (f" wall={row['wall_s']}s"
+                    if row.get("wall_s") is not None else "")
+            pid = f" pid={row['pid']}" if row.get("pid") else ""
+            print(f"  {row['key']} #{row['attempt']} "
+                  f"{row['status']}{wall}{pid}{error}")
+    return 0
 
 
 def cmd_profile(args) -> int:
@@ -839,49 +1045,117 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile_p.set_defaults(func=cmd_profile)
 
+    def grid_flags(p):
+        """The sweep-grid declaration flags, shared by sweep/campaign start."""
+        p.add_argument("--spec", default=None,
+                       help="TOML/JSON sweep spec file (flags override it)")
+        p.add_argument("--campaigns", default=None,
+                       help="comma-separated campaign names, or 'all' "
+                            "(use 'baseline' for the no-attack run)")
+        p.add_argument("--seeds", default=None,
+                       help="comma-separated explicit seeds")
+        p.add_argument("--base-seed", type=int, default=None,
+                       help="base seed for deterministic seed derivation")
+        p.add_argument("--n-seeds", type=int, default=None,
+                       help="number of derived seeds per cell")
+        p.add_argument("--minutes", type=float, default=None,
+                       help="simulated horizon per run")
+        p.add_argument("--profiles", default=None,
+                       help="comma-separated: defended,undefended")
+        p.add_argument("--start", type=float, default=None,
+                       help="attack start time (s)")
+        p.add_argument("--duration", type=float, default=None,
+                       help="attack duration (s)")
+        p.add_argument("--fault-campaign", default=None,
+                       help="named fault campaign injected into every run")
+        p.add_argument("--fault-start", type=float, default=None,
+                       help="fault campaign start time (s)")
+        p.add_argument("--fault-duration", type=float, default=None,
+                       help="fault campaign duration (s)")
+
+    def exec_flags(p):
+        """Execution/healing flags shared by sweep and campaign runs."""
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+        p.add_argument("--max-attempts", type=int, default=None,
+                       help="executions per cell before it is declared "
+                            "failed (default: engine policy, 3)")
+        p.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per cell attempt; overdue "
+                            "cells are cancelled and retried")
+        p.add_argument("--no-table", action="store_true",
+                       help="skip the aggregate table")
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress per-run progress lines")
+
     sweep_p = sub.add_parser(
         "sweep", help="run a campaign x seed x profile grid in parallel"
     )
-    sweep_p.add_argument("--spec", default=None,
-                         help="TOML/JSON sweep spec file (flags override it)")
-    sweep_p.add_argument("--campaigns", default=None,
-                         help="comma-separated campaign names, or 'all' "
-                              "(use 'baseline' for the no-attack run)")
-    sweep_p.add_argument("--seeds", default=None,
-                         help="comma-separated explicit seeds")
-    sweep_p.add_argument("--base-seed", type=int, default=None,
-                         help="base seed for deterministic seed derivation")
-    sweep_p.add_argument("--n-seeds", type=int, default=None,
-                         help="number of derived seeds per cell")
-    sweep_p.add_argument("--minutes", type=float, default=None,
-                         help="simulated horizon per run")
-    sweep_p.add_argument("--profiles", default=None,
-                         help="comma-separated: defended,undefended")
-    sweep_p.add_argument("--start", type=float, default=None,
-                         help="attack start time (s)")
-    sweep_p.add_argument("--duration", type=float, default=None,
-                         help="attack duration (s)")
-    sweep_p.add_argument("--fault-campaign", default=None,
-                         help="named fault campaign injected into every run")
-    sweep_p.add_argument("--fault-start", type=float, default=None,
-                         help="fault campaign start time (s)")
-    sweep_p.add_argument("--fault-duration", type=float, default=None,
-                         help="fault campaign duration (s)")
-    sweep_p.add_argument("--jobs", type=int, default=1,
-                         help="worker processes (1 = in-process)")
+    grid_flags(sweep_p)
+    exec_flags(sweep_p)
     sweep_p.add_argument("--out", default="out/sweep.jsonl",
                          help="JSONL result store path")
+    sweep_p.add_argument("--campaign-db", default=None, metavar="PATH",
+                         help="record results in a SQLite campaign store "
+                              "instead of the JSONL file")
+    sweep_p.add_argument("--campaign-name", default="sweep",
+                         help="campaign name inside --campaign-db "
+                              "(default: sweep)")
     sweep_p.add_argument("--resume", action="store_true",
                          help="skip runs already completed in the store")
-    sweep_p.add_argument("--no-table", action="store_true",
-                         help="skip the aggregate table")
-    sweep_p.add_argument("--quiet", action="store_true",
-                         help="suppress per-run progress lines")
     sweep_p.add_argument("--progress", action="store_true",
                          help="print a live one-line progress summary "
                               "(done/running/pending, rate, ETA) as cells "
                               "complete")
     sweep_p.set_defaults(func=cmd_sweep)
+
+    campaign_p = sub.add_parser(
+        "campaign",
+        help="manage durable sweep campaigns in a SQLite store",
+    )
+    campaign_sub = campaign_p.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    cstart_p = campaign_sub.add_parser(
+        "start", help="create a named campaign from a sweep grid and run it"
+    )
+    cstart_p.add_argument("name", help="campaign name (unique per store)")
+    cstart_p.add_argument("--db", default="out/campaigns.db",
+                          help="SQLite campaign store path")
+    cstart_p.add_argument("--from-jsonl", default=None, metavar="PATH",
+                          help="import a legacy JSONL result store into "
+                               "the campaign before running")
+    grid_flags(cstart_p)
+    exec_flags(cstart_p)
+    cstart_p.set_defaults(func=cmd_campaign_start)
+
+    cresume_p = campaign_sub.add_parser(
+        "resume", help="re-open a campaign and execute its remaining cells"
+    )
+    cresume_p.add_argument("name", help="campaign name")
+    cresume_p.add_argument("--db", default="out/campaigns.db",
+                           help="SQLite campaign store path")
+    exec_flags(cresume_p)
+    cresume_p.set_defaults(func=cmd_campaign_resume)
+
+    clist_p = campaign_sub.add_parser(
+        "list", help="list campaigns in a store with cell/attempt counts"
+    )
+    clist_p.add_argument("--db", default="out/campaigns.db",
+                         help="SQLite campaign store path")
+    clist_p.set_defaults(func=cmd_campaign_list)
+
+    cshow_p = campaign_sub.add_parser(
+        "show", help="show one campaign's cells and attempt history"
+    )
+    cshow_p.add_argument("name", help="campaign name")
+    cshow_p.add_argument("--db", default="out/campaigns.db",
+                         help="SQLite campaign store path")
+    cshow_p.add_argument("--attempts", action="store_true",
+                         help="also print the per-attempt history")
+    cshow_p.set_defaults(func=cmd_campaign_show)
 
     status_p = sub.add_parser(
         "status",

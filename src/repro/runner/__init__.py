@@ -10,8 +10,14 @@ sweeps only execute the delta:
   (grid declaration, stable hashing, TOML/JSON spec files);
 * :mod:`repro.runner.worker` — the picklable per-run entry point;
 * :mod:`repro.runner.store` — the append-only JSONL result store;
-* :mod:`repro.runner.engine` — :class:`SweepRunner` (pool fan-out,
-  resume, failure isolation);
+* :mod:`repro.runner.campaign` — the durable SQLite (WAL) campaign
+  store: ``campaigns`` / ``cells`` / ``attempts`` tables, queryable
+  across runs, with a one-way JSONL import path;
+* :mod:`repro.runner.dispatch` — pluggable execution backends
+  (:class:`LocalPoolDispatcher` today) plus the deterministic
+  :class:`CellRetryPolicy`;
+* :mod:`repro.runner.engine` — :class:`SweepRunner` (dispatcher fan-out,
+  resume, failure isolation, self-healing retry/timeout/backoff);
 * :mod:`repro.runner.monitor` — :class:`SweepMonitor` (live progress
   fold, ``status.json``, stall detection for ``repro-worksite status``);
 * :mod:`repro.runner.aggregate` — grouped means → paper-style tables.
@@ -28,6 +34,18 @@ Typical use::
 """
 
 from repro.runner.aggregate import aggregate_rows, aggregate_table, group_records
+from repro.runner.campaign import (
+    CampaignBinding,
+    CampaignStore,
+    open_campaign_store,
+)
+from repro.runner.dispatch import (
+    DISPATCHERS,
+    CellRetryPolicy,
+    Dispatcher,
+    LocalPoolDispatcher,
+    make_dispatcher,
+)
 from repro.runner.engine import (
     SweepReport,
     SweepRunner,
@@ -53,6 +71,12 @@ from repro.runner.worker import execute_run
 
 __all__ = [
     "BASELINE",
+    "CampaignBinding",
+    "CampaignStore",
+    "CellRetryPolicy",
+    "DISPATCHERS",
+    "Dispatcher",
+    "LocalPoolDispatcher",
     "RunSpec",
     "SweepSpec",
     "SweepReport",
@@ -66,6 +90,8 @@ __all__ = [
     "derive_sweep_seeds",
     "execute_run",
     "load_sweep_spec",
+    "make_dispatcher",
+    "open_campaign_store",
     "open_store",
     "progress_line",
     "read_status",

@@ -1,0 +1,410 @@
+"""Pluggable execution backends for the sweep engine, plus retry policy.
+
+The engine used to own a ``ProcessPoolExecutor`` directly, which meant one
+SIGKILLed worker broke the pool and the next ``submit`` crashed the whole
+sweep.  This module splits "how cells execute" out of "which cells to
+execute" behind a small :class:`Dispatcher` interface (the provider-class
+pattern: backends register in :data:`DISPATCHERS` by name, multi-host
+dispatch is a new class, not an engine rewrite).
+
+:class:`LocalPoolDispatcher` is the first backend and hardens the process
+pool three ways:
+
+* **pool resurrection** — a ``BrokenProcessPool`` (worker SIGKILLed, OOM
+  kill, interpreter abort) no longer propagates: the in-flight cells come
+  back as retryable ``lost`` outcomes and a fresh pool is spawned for the
+  next submit;
+* **per-cell wall-clock timeouts** — a wedged cell is killed (the pool's
+  worker processes are terminated) and reported as a retryable ``timeout``
+  outcome instead of stalling the sweep forever;
+* **graceful degradation** — repeated consecutive pool breakage halves the
+  worker budget (never below ``min_workers``) instead of failing the
+  campaign, surfacing the reduction through ``on_degrade`` (the engine
+  forwards it to the :class:`~repro.runner.monitor.SweepMonitor`).
+
+Whether a ``lost``/``timeout`` cell is *re-run* is the engine's decision,
+driven by :class:`CellRetryPolicy` — deterministic bounded attempts with
+exponential backoff and seed-derived jitter, mirroring the shape of the
+link-layer :class:`~repro.comms.link.RetryPolicy`.  Simulation-level
+failures (a run that raises inside the sim) are a pure function of the
+spec, so they are final by default: retrying them would burn attempts on
+a deterministic outcome.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.runner.spec import RunSpec
+from repro.runner.worker import execute_run
+from repro.sim.rng import derive_seed
+
+#: outcome kinds that are infrastructure losses (the cell never produced a
+#: record) and therefore worth retrying under the default policy
+RETRYABLE_KINDS = ("lost", "timeout")
+
+
+@dataclass(frozen=True)
+class CellRetryPolicy:
+    """Deterministic per-cell retry schedule: bounded attempts, exponential
+    backoff, seed-derived jitter.
+
+    The jitter is a pure function of ``(spec.seed, spec.key, attempt)`` via
+    the same SHA-256 derivation the simulation RNG uses, so two runs of the
+    same campaign produce identical retry timelines — no module-level
+    ``random`` anywhere near the scheduler.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay_s: float = 2.0
+    jitter_s: float = 0.01
+    #: also retry cells whose *simulation* failed (off by default: a run is
+    #: a pure function of its spec, so a sim-level failure is deterministic)
+    retry_failed_results: bool = False
+
+    def should_retry(self, kind: str, attempt: int) -> bool:
+        """Whether an attempt that ended as ``kind`` deserves another try.
+
+        ``lost`` and ``timeout`` are infrastructure losses — retryable.
+        ``failed`` (the sim raised) and ``error`` (unpicklable payload and
+        friends) are deterministic — final unless opted in.
+        """
+        if attempt >= self.max_attempts:
+            return False
+        if kind in RETRYABLE_KINDS:
+            return True
+        return kind == "failed" and self.retry_failed_results
+
+    def delay_s(self, spec: RunSpec, attempt: int) -> float:
+        """Backoff before re-submitting ``spec`` after attempt ``attempt``."""
+        delay = min(
+            self.base_delay_s * self.backoff_factor ** max(0, attempt - 1),
+            self.max_delay_s,
+        )
+        if self.jitter_s > 0.0:
+            frac = derive_seed(
+                spec.seed, f"cell-retry:{spec.key}:{attempt}"
+            ) % 1_000_000 / 1_000_000.0
+            delay += frac * self.jitter_s
+        return round(delay, 6)
+
+
+@dataclass
+class Outcome:
+    """One finished (or lost) execution attempt, as the dispatcher saw it.
+
+    ``kind`` is the attempt-status taxonomy the retry policy and the
+    campaign store's ``attempts`` table share:
+
+    * ``ok`` — the worker returned a successful record;
+    * ``failed`` — the worker returned a record whose *simulation* failed
+      (deterministic: the record carries the traceback);
+    * ``lost`` — the worker died (or the pool broke) before returning;
+    * ``timeout`` — the cell exceeded the wall-clock budget and its worker
+      was killed;
+    * ``error`` — the future raised something that is not pool breakage
+      (e.g. an unpicklable result).
+    """
+
+    spec: RunSpec
+    attempt: int
+    kind: str
+    record: Optional[dict] = None
+    error: Optional[str] = None
+
+
+class Dispatcher:
+    """Execution backend interface: submit cells, poll outcomes.
+
+    The engine drives any backend with the same four-step loop::
+
+        dispatcher.start()
+        while work:
+            while ready and dispatcher.capacity:
+                dispatcher.submit(spec, attempt)
+            for outcome in dispatcher.poll(timeout):
+                ...  # retry or finalise
+        dispatcher.stop()
+
+    Implementations must never raise out of ``submit``/``poll`` for
+    worker-side failures — bad news travels as :class:`Outcome` values —
+    and must never silently drop a submitted spec.
+    """
+
+    #: registry name (the ``providerclass`` analogue)
+    name = "abstract"
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def capacity(self) -> int:
+        """Free execution slots right now."""
+        raise NotImplementedError
+
+    @property
+    def in_flight(self) -> int:
+        """Cells currently submitted and not yet reported."""
+        raise NotImplementedError
+
+    def submit(self, spec: RunSpec, attempt: int = 1) -> None:
+        raise NotImplementedError
+
+    def poll(self, timeout_s: Optional[float] = None) -> List[Outcome]:
+        raise NotImplementedError
+
+
+class LocalPoolDispatcher(Dispatcher):
+    """Self-healing ``ProcessPoolExecutor`` backend.
+
+    Parameters
+    ----------
+    workers:
+        Initial worker budget; may shrink under repeated pool breakage.
+    task:
+        Module-level picklable callable ``(spec_dict, attempt) -> record``;
+        defaults to :func:`repro.runner.worker.execute_run`.
+    cell_timeout_s:
+        Per-cell wall-clock budget.  ``None`` (the default) disables
+        timeouts.  Because a running future cannot be cancelled, enforcing
+        a timeout kills the pool's workers; collateral in-flight cells come
+        back as retryable ``lost`` outcomes.
+    degrade_after:
+        Consecutive organic pool breakages before the worker budget is
+        halved (deliberate timeout kills do not count).
+    min_workers:
+        Floor for degradation; the dispatcher never shrinks below this.
+    on_degrade:
+        Optional callback ``(old_workers, new_workers)`` fired when the
+        budget shrinks.
+    clock:
+        Monotonic timestamp source (injectable for tests).
+    """
+
+    name = "local"
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        task: Optional[Callable] = None,
+        cell_timeout_s: Optional[float] = None,
+        degrade_after: int = 3,
+        min_workers: int = 1,
+        on_degrade: Optional[Callable[[int, int], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cell_timeout_s = cell_timeout_s
+        self.degrade_after = degrade_after
+        self.min_workers = max(1, min_workers)
+        self.on_degrade = on_degrade
+        self._task = task if task is not None else execute_run
+        self._clock = clock
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: future -> (spec, attempt, started_t)
+        self._futures: Dict = {}
+        #: outcomes produced outside poll (submit-time pool resets)
+        self._pending: List[Outcome] = []
+        self._breakage_streak = 0
+        self.breakages = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        self._ensure_pool()
+
+    def stop(self) -> None:
+        if self._pool is None:
+            return
+        if self._futures:
+            # abandoning in-flight work (engine shutdown mid-campaign):
+            # kill rather than wait, a wedged worker must not block exit
+            self._terminate_workers()
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            self._pool.shutdown(wait=True)
+        self._pool = None
+        self._futures.clear()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _terminate_workers(self) -> None:
+        processes = getattr(self._pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except (OSError, ValueError):  # already gone / closed
+                pass
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return max(0, self.workers - len(self._futures))
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._futures)
+
+    # -- submit / poll ------------------------------------------------------
+
+    def submit(self, spec: RunSpec, attempt: int = 1) -> None:
+        """Submit one cell; never raises for pool breakage and never loses
+        the spec (a broken pool is reset and the submit retried on the
+        fresh one)."""
+        for _ in range(2):
+            pool = self._ensure_pool()
+            try:
+                future = pool.submit(self._task, spec.to_dict(), attempt)
+            except BrokenProcessPool as exc:
+                # the previous batch broke the pool after our last poll:
+                # surface its in-flight cells as lost, spawn a new pool
+                self._pending.extend(self._reset_pool(
+                    f"{type(exc).__name__} on submit", organic=True
+                ))
+                continue
+            self._futures[future] = (spec, attempt, self._clock())
+            return
+        raise RuntimeError(
+            "process pool broke twice during a single submit"
+        )  # pragma: no cover - a fresh pool accepts submissions
+
+    def poll(self, timeout_s: Optional[float] = None) -> List[Outcome]:
+        """Outcomes that finished (or were lost) since the last poll,
+        blocking up to ``timeout_s`` for the first one."""
+        outcomes = list(self._pending)
+        self._pending.clear()
+        if not self._futures:
+            return outcomes
+        timeout = 0.0 if outcomes else timeout_s
+        if self.cell_timeout_s is not None:
+            deadline = min(
+                started + self.cell_timeout_s
+                for _, _, started in self._futures.values()
+            )
+            budget = max(0.0, deadline - self._clock())
+            timeout = budget if timeout is None else min(timeout, budget)
+        finished, _ = futures_wait(
+            set(self._futures), timeout=timeout,
+            return_when=FIRST_COMPLETED,
+        )
+        broke = False
+        for future in finished:
+            spec, attempt, _started = self._futures.pop(future)
+            error = future.exception()
+            if error is None:
+                record = future.result()
+                kind = "ok" if record.get("status") == "ok" else "failed"
+                self._breakage_streak = 0
+                outcomes.append(Outcome(
+                    spec, attempt, kind,
+                    record=record, error=record.get("error"),
+                ))
+            elif isinstance(error, BrokenProcessPool):
+                broke = True
+                outcomes.append(Outcome(
+                    spec, attempt, "lost",
+                    error=f"{type(error).__name__}: worker lost mid-cell",
+                ))
+            else:
+                outcomes.append(Outcome(
+                    spec, attempt, "error",
+                    error=f"{type(error).__name__}: {error}",
+                ))
+        if broke:
+            # every other in-flight future is doomed too: drain them now
+            # and replace the pool before the next submit
+            outcomes.extend(self._reset_pool("BrokenProcessPool", organic=True))
+        outcomes.extend(self._expire_overdue())
+        return outcomes
+
+    # -- self-healing -------------------------------------------------------
+
+    def _expire_overdue(self) -> List[Outcome]:
+        """Kill and report cells that exceeded the wall-clock budget."""
+        if self.cell_timeout_s is None or not self._futures:
+            return []
+        now = self._clock()
+        overdue = [
+            future for future, (_, _, started) in self._futures.items()
+            if now - started >= self.cell_timeout_s
+        ]
+        if not overdue:
+            return []
+        outcomes = []
+        for future in overdue:
+            spec, attempt, _started = self._futures.pop(future)
+            outcomes.append(Outcome(
+                spec, attempt, "timeout",
+                error=(f"cell exceeded the {self.cell_timeout_s}s "
+                       "wall-clock budget; worker killed"),
+            ))
+        # a running future cannot be cancelled: the only way to reclaim the
+        # worker is to kill the pool; innocent in-flight cells requeue as
+        # lost (deliberate kill — not held against the degradation streak)
+        outcomes.extend(self._reset_pool("cell timeout", organic=False))
+        return outcomes
+
+    def _reset_pool(self, reason: str, *, organic: bool) -> List[Outcome]:
+        """Tear the pool down, drain in-flight cells as ``lost`` outcomes,
+        and leave the dispatcher ready to spawn a fresh pool."""
+        outcomes = [
+            Outcome(spec, attempt, "lost",
+                    error=f"in-flight when the pool was reset ({reason})")
+            for _, (spec, attempt, _started) in list(self._futures.items())
+        ]
+        if self._pool is not None:
+            self._terminate_workers()
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
+        self._futures.clear()
+        if organic:
+            self.breakages += 1
+            self._breakage_streak += 1
+            self._maybe_degrade()
+        return outcomes
+
+    def _maybe_degrade(self) -> None:
+        if (self._breakage_streak < self.degrade_after
+                or self.workers <= self.min_workers):
+            return
+        old = self.workers
+        self.workers = max(self.min_workers, self.workers // 2)
+        self._breakage_streak = 0
+        if self.on_degrade is not None:
+            self.on_degrade(old, self.workers)
+
+
+#: provider-class registry: dispatcher name -> class.  Multi-host backends
+#: (SSH fan-out, container fleets) plug in here without touching the engine.
+DISPATCHERS = {
+    LocalPoolDispatcher.name: LocalPoolDispatcher,
+}
+
+
+def make_dispatcher(name: str, workers: int, **kwargs) -> Dispatcher:
+    """Instantiate a registered dispatcher by name."""
+    try:
+        cls = DISPATCHERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dispatcher {name!r}; "
+            f"available: {', '.join(sorted(DISPATCHERS))}"
+        ) from None
+    return cls(workers, **kwargs)

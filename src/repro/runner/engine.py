@@ -1,27 +1,45 @@
-"""The sweep engine: fan a grid of run specs across a process pool.
+"""The sweep engine: fan a grid of run specs across an execution backend.
 
 :class:`SweepRunner` takes the expanded spec list, consults the result
 store for already-completed runs (``resume=True``), and executes only the
 delta — inline for ``jobs=1`` (no pool overhead, same code path as the
-workers) or via :class:`concurrent.futures.ProcessPoolExecutor` otherwise.
-Each completed record is appended to the store as it arrives, so progress
-survives interruption.  Failures are data, not exceptions: a worker that
-raises produces a ``status: "failed"`` record and the sweep keeps going.
+workers) or through a pluggable :class:`~repro.runner.dispatch.Dispatcher`
+(the local process pool by default) otherwise.  Each completed record is
+appended to the store as it arrives, so progress survives interruption.
+Failures are data, not exceptions: a worker that raises produces a
+``status: "failed"`` record and the sweep keeps going.
+
+The execution layer is self-healing.  Infrastructure losses — a worker
+SIGKILLed mid-cell (``BrokenProcessPool``), a cell that exceeds its
+wall-clock budget — do not fail the cell, let alone the sweep: the
+dispatcher resurrects its pool and the engine requeues the cell under a
+deterministic :class:`~repro.runner.dispatch.CellRetryPolicy` (bounded
+attempts, exponential backoff, seed-derived jitter).  Every attempt is
+reported to the store (the SQLite campaign store records them all) and to
+the monitor, and only a cell that exhausts its attempt budget becomes a
+``failed`` record.
 
 Because every run is a pure function of its spec (see
 :mod:`repro.runner.worker`), the report's records are returned in spec
 order regardless of completion order — ``--jobs 1`` and ``--jobs 8``
-produce identical result sets.
+produce identical result sets, and so do an uninterrupted campaign and
+one resumed after a crash.
 """
 
 from __future__ import annotations
 
 import time
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.runner.dispatch import (
+    CellRetryPolicy,
+    Dispatcher,
+    LocalPoolDispatcher,
+    Outcome,
+)
 from repro.runner.monitor import SweepMonitor
 from repro.runner.spec import RunSpec
 from repro.runner.store import ResultStore
@@ -29,7 +47,7 @@ from repro.runner.worker import execute_run
 
 ProgressFn = Callable[[str], None]
 
-#: minimum seconds between status.json rewrites (and the pool wait
+#: minimum seconds between status.json rewrites (and the dispatcher poll
 #: timeout that drives heartbeats while no cell completes)
 STATUS_INTERVAL_S = 2.0
 
@@ -54,12 +72,24 @@ class SweepReport:
     executed: int = 0
     cached: int = 0
     failed: int = 0
+    #: attempts that were requeued (lost workers, timeouts) rather than
+    #: finalised — self-healing activity, not additional cells
+    retries: int = 0
+    #: stall-detector firings observed by the monitor during the sweep
+    stalls: int = 0
     wall_s: float = 0.0
     records: List[dict] = field(default_factory=list)
+    #: finished attempt count per cell key (cached hits report 0 new
+    #: attempts; the campaign store keeps their history)
+    attempts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def succeeded(self) -> int:
         return self.total - self.failed
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(self.attempts.values())
 
     def failures(self) -> List[dict]:
         return [r for r in self.records if r.get("status") != "ok"]
@@ -77,20 +107,43 @@ class SweepRunner:
     jobs:
         Worker processes.  ``1`` runs inline in this process.
     store:
-        Optional :class:`ResultStore`; completed records are appended as
-        they arrive and consulted for cache hits when ``resume`` is set.
+        Optional :class:`ResultStore` or campaign-store binding (see
+        :meth:`repro.runner.campaign.CampaignStore.bind`); completed
+        records are appended as they arrive, attempts are reported through
+        ``record_attempt``, and ``completed_keys`` backs cache hits when
+        ``resume`` is set.
+    retry_policy:
+        The per-cell retry schedule; defaults to
+        :class:`~repro.runner.dispatch.CellRetryPolicy` (3 attempts,
+        exponential backoff with seed-derived jitter).  Only
+        infrastructure losses retry by default — a sim-level failure is a
+        pure function of the spec and stays final.
+    cell_timeout_s:
+        Per-cell wall-clock budget for pool execution; an overdue cell is
+        killed and requeued as a retryable ``timeout`` attempt.  ``None``
+        disables timeouts.
+    dispatcher:
+        Optional pre-built execution backend; by default a
+        :class:`~repro.runner.dispatch.LocalPoolDispatcher` is created
+        per ``run`` with ``min(jobs, len(pending))`` workers.
+    task:
+        Picklable ``(spec_dict, attempt) -> record`` callable; defaults to
+        :func:`repro.runner.worker.execute_run`.  Injectable so the chaos
+        tests can wrap the worker in crash/hang behaviour.
     progress:
         Optional callable receiving one formatted line per completed run.
     monitor:
         Optional :class:`~repro.runner.monitor.SweepMonitor` receiving
         ``sweep_started`` / ``cell_started`` / ``cell_finished`` /
-        ``heartbeat`` events as the sweep advances.
+        ``cell_retry`` / ``workers_degraded`` / ``heartbeat`` events as
+        the sweep advances.
     status_path:
         Where to (atomically) write the monitor snapshot as
         ``status.json``; requires ``monitor``.  Writes are throttled to
         ``status_interval_s`` with a forced final write.
     clock:
-        Timestamp source for monitor events (injectable for tests).
+        Timestamp source for monitor events and retry eligibility
+        (injectable for tests).
     """
 
     def __init__(
@@ -98,25 +151,39 @@ class SweepRunner:
         *,
         jobs: int = 1,
         store: Optional[ResultStore] = None,
+        retry_policy: Optional[CellRetryPolicy] = None,
+        cell_timeout_s: Optional[float] = None,
+        dispatcher: Optional[Dispatcher] = None,
+        task: Optional[Callable] = None,
         progress: Optional[ProgressFn] = None,
         monitor: Optional[SweepMonitor] = None,
         status_path=None,
         status_interval_s: float = STATUS_INTERVAL_S,
         clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.store = store
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else CellRetryPolicy()
+        )
+        self.cell_timeout_s = cell_timeout_s
+        self.dispatcher = dispatcher
+        self.task = task if task is not None else execute_run
         self.progress = progress
         self.monitor = monitor
         self.status_path = status_path
         self.status_interval_s = status_interval_s
         self.clock = clock
+        self.sleep = sleep
         self._last_status_write: Optional[float] = None
+        self._retries = 0
 
     def run(self, specs: Sequence[RunSpec], *, resume: bool = False) -> SweepReport:
         started = time.perf_counter()
+        self._retries = 0
         ordered: List[RunSpec] = []
         seen = set()
         for spec in specs:
@@ -141,6 +208,7 @@ class SweepRunner:
         done = 0
         for record in cached.values():
             done += 1
+            report.attempts[record["key"]] = 0
             # monitor first, so a progress callback reading the monitor's
             # snapshot sees the cell it is reporting on
             self._event("cell_finished", key=record["key"],
@@ -151,13 +219,15 @@ class SweepRunner:
         for record in self._execute(pending):
             by_key[record["key"]] = record
             report.executed += 1
+            report.attempts[record["key"]] = record.get("attempts", 1)
             done += 1
             if self.store is not None:
                 self.store.append(record)
             self._event("cell_finished", key=record["key"],
                         status=record.get("status"), cached=False,
                         wall_s=record.get("wall_s"),
-                        pid=record.get("pid"))
+                        pid=record.get("pid"),
+                        attempts=record.get("attempts"))
             self._emit(done=done, total=len(ordered),
                        record=record, from_cache=False)
 
@@ -165,6 +235,9 @@ class SweepRunner:
         report.failed = sum(
             1 for r in report.records if r.get("status") != "ok"
         )
+        report.retries = self._retries
+        if self.monitor is not None:
+            report.stalls = self.monitor.stall_events
         report.wall_s = round(time.perf_counter() - started, 3)
         self._write_status(force=True)
         return report
@@ -213,66 +286,158 @@ class SweepRunner:
         self._last_status_write = now
         self.monitor.write_status(self.status_path, now=now)
 
+    # -- store protocol (both ResultStore and CampaignBinding) -------------
+
+    def _mark_running(self, spec: RunSpec, attempt: int) -> None:
+        if self.store is not None:
+            self.store.mark_running(spec.key, attempt)
+
+    def _record_attempt(self, outcome: Outcome) -> None:
+        if self.store is None:
+            return
+        record = outcome.record or {}
+        self.store.record_attempt(
+            outcome.spec.key, outcome.attempt,
+            status=outcome.kind,
+            error=record.get("error") if outcome.record else outcome.error,
+            wall_s=record.get("wall_s"),
+            pid=record.get("pid"),
+        )
+
     # -- execution backends ------------------------------------------------
 
     def _execute(self, pending: Sequence[RunSpec]):
         if not pending:
             return
-        if self.jobs == 1:
-            for spec in pending:
-                self._event("cell_started", key=spec.key, label=spec.label)
-                yield execute_run(spec)
+        if self.jobs == 1 and self.dispatcher is None:
+            yield from self._execute_inline(pending)
             return
-        yield from self._execute_pool(pending)
+        yield from self._execute_dispatched(pending)
 
-    def _execute_pool(self, pending: Sequence[RunSpec]):
-        workers = min(self.jobs, len(pending))
-        queue = list(pending)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures: Dict = {}
+    def _execute_inline(self, pending: Sequence[RunSpec]):
+        """The no-pool path: same retry semantics, same record shape.
 
-            def submit_next() -> None:
-                spec = queue.pop(0)
-                futures[pool.submit(execute_run, spec.to_dict())] = spec
-                self._event("cell_started", key=spec.key, label=spec.label)
+        Infrastructure losses cannot happen inline (the worker is this
+        process), so only ``retry_failed_results`` policies ever loop.
+        """
+        policy = self.retry_policy
+        for spec in pending:
+            attempt = 0
+            while True:
+                attempt += 1
+                self._mark_running(spec, attempt)
+                self._event("cell_started", key=spec.key, label=spec.label,
+                            attempt=attempt)
+                record = self.task(spec.to_dict(), attempt)
+                kind = "ok" if record.get("status") == "ok" else "failed"
+                self._record_attempt(
+                    Outcome(spec, attempt, kind, record=record)
+                )
+                if kind == "ok" or not policy.should_retry(kind, attempt):
+                    record["attempts"] = attempt
+                    yield record
+                    break
+                self._retries += 1
+                self._event("cell_retry", key=spec.key, attempt=attempt,
+                            kind=kind, error=record.get("error"))
+                self.sleep(policy.delay_s(spec, attempt))
 
-            # lazy submission — one in-flight future per worker — keeps
-            # "started" synonymous with "executing", so cell ages (and the
-            # stall detector reading them) measure work, not queue time
-            for _ in range(min(workers, len(queue))):
-                submit_next()
-            while futures:
+    def _execute_dispatched(self, pending: Sequence[RunSpec]):
+        """The self-healing dispatcher loop: lazy submission (one in-flight
+        cell per worker), retry with deterministic backoff, heartbeats."""
+        policy = self.retry_policy
+        dispatcher = self.dispatcher
+        if dispatcher is None:
+            dispatcher = LocalPoolDispatcher(
+                min(self.jobs, len(pending)),
+                task=self.task,
+                cell_timeout_s=self.cell_timeout_s,
+            )
+        dispatcher.on_degrade = self._on_degrade
+        ready = deque(pending)
+        delayed: List[tuple] = []  # (eligible_t, spec) backoff parking lot
+        attempts: Dict[str, int] = {}
+        dispatcher.start()
+        try:
+            while ready or delayed or dispatcher.in_flight:
+                now = self.clock()
+                if delayed:
+                    due = [item for item in delayed if item[0] <= now]
+                    if due:
+                        delayed = [i for i in delayed if i[0] > now]
+                        ready.extend(spec for _, spec in due)
+                # lazy submission — one in-flight future per worker — keeps
+                # "started" synonymous with "executing", so cell ages (and
+                # the stall detector reading them) measure work, not queue
+                # time
+                while ready and dispatcher.capacity > 0:
+                    spec = ready.popleft()
+                    attempt = attempts.get(spec.key, 0) + 1
+                    attempts[spec.key] = attempt
+                    dispatcher.submit(spec, attempt)
+                    self._mark_running(spec, attempt)
+                    self._event("cell_started", key=spec.key,
+                                label=spec.label, attempt=attempt)
+                if not dispatcher.in_flight and not ready and delayed:
+                    # nothing to poll: park until the earliest backoff
+                    # deadline instead of spinning
+                    wake = min(t for t, _ in delayed) - self.clock()
+                    if wake > 0:
+                        self.sleep(min(wake, self.status_interval_s))
+                    continue
                 timeout = (
                     self.status_interval_s if self.monitor is not None
                     else None
                 )
-                finished, _ = wait(
-                    set(futures), timeout=timeout,
-                    return_when=FIRST_COMPLETED,
-                )
-                if not finished:
+                if delayed:
+                    wake = max(0.0, min(t for t, _ in delayed) - now)
+                    timeout = wake if timeout is None else min(timeout, wake)
+                outcomes = dispatcher.poll(timeout)
+                if not outcomes:
                     # nothing completed within the interval: refresh
                     # liveness so a wedged worker surfaces as a stall
                     self._event("heartbeat")
                     continue
-                for future in finished:
-                    spec = futures.pop(future)
-                    error = future.exception()
-                    if error is None:
-                        yield future.result()
-                    else:
-                        # pool-level breakage (lost worker, unpicklable
-                        # payload): report the cell, keep sweeping
-                        yield {
-                            "key": spec.key,
-                            "spec": spec.to_dict(),
-                            "status": "failed",
-                            "error": f"{type(error).__name__}: {error}",
-                            "result": None,
-                            "wall_s": None,
-                        }
-                    if queue:
-                        submit_next()
+                for outcome in outcomes:
+                    self._record_attempt(outcome)
+                    if policy.should_retry(outcome.kind, outcome.attempt):
+                        self._retries += 1
+                        delay = policy.delay_s(outcome.spec, outcome.attempt)
+                        self._event("cell_retry", key=outcome.spec.key,
+                                    attempt=outcome.attempt,
+                                    kind=outcome.kind, delay_s=delay,
+                                    error=outcome.error)
+                        delayed.append((self.clock() + delay, outcome.spec))
+                        continue
+                    yield self._finalise(outcome)
+        finally:
+            dispatcher.stop()
+
+    def _finalise(self, outcome: Outcome) -> dict:
+        """The final record for a cell that will not be retried."""
+        record = outcome.record
+        if record is None:
+            # the cell never produced a record (lost / timeout / pool
+            # error after the attempt budget): report it, keep sweeping
+            record = {
+                "key": outcome.spec.key,
+                "spec": outcome.spec.to_dict(),
+                "status": "failed",
+                "error": outcome.error,
+                "result": None,
+                "wall_s": None,
+            }
+        record["attempts"] = outcome.attempt
+        return record
+
+    def _on_degrade(self, old_workers: int, new_workers: int) -> None:
+        """Dispatcher shrank its worker budget: surface, don't fail."""
+        self._event("workers_degraded", old=old_workers, new=new_workers)
+        if self.progress is not None:
+            self.progress(
+                f"[degraded] worker budget {old_workers} -> {new_workers} "
+                "after repeated pool breakage"
+            )
 
     def _emit(self, *, done: int, total: int, record: dict,
               from_cache: bool) -> None:
@@ -284,6 +449,8 @@ class SweepRunner:
             tag = "cached"
         elif status == "ok":
             tag = f"ok {record.get('wall_s', '?')}s"
+            if record.get("attempts", 1) > 1:
+                tag += f" ({record['attempts']} attempts)"
         else:
             tag = f"FAILED ({record.get('error', 'unknown error')})"
         self.progress(f"[{done}/{total}] {spec.label}: {tag}")
@@ -295,13 +462,16 @@ def run_sweep(
     jobs: int = 1,
     store: Optional[ResultStore] = None,
     resume: bool = False,
+    retry_policy: Optional[CellRetryPolicy] = None,
+    cell_timeout_s: Optional[float] = None,
     progress: Optional[ProgressFn] = None,
     monitor: Optional[SweepMonitor] = None,
     status_path=None,
 ) -> SweepReport:
     """Convenience wrapper: one call from specs to report."""
     runner = SweepRunner(
-        jobs=jobs, store=store, progress=progress,
+        jobs=jobs, store=store, retry_policy=retry_policy,
+        cell_timeout_s=cell_timeout_s, progress=progress,
         monitor=monitor, status_path=status_path,
     )
     return runner.run(specs, resume=resume)

@@ -2,8 +2,9 @@
 
 :class:`SweepMonitor` is the write side of the progress plane.  The sweep
 engine (and, opted in, the fuzz session) feeds it plain event dicts —
-``sweep_started`` / ``cell_started`` / ``cell_finished`` / ``heartbeat``
-— each stamped with a caller-supplied wall-clock time.  The monitor is a
+``sweep_started`` / ``cell_started`` / ``cell_finished`` / ``cell_retry``
+/ ``workers_degraded`` / ``heartbeat`` — each stamped with a
+caller-supplied wall-clock time.  The monitor is a
 **pure fold** over that event sequence: feed the same events and ask for
 a snapshot at the same ``now`` and you get the same dict, which is what
 makes ``status.json`` reproducible and testable without real sleeps.
@@ -11,8 +12,10 @@ makes ``status.json`` reproducible and testable without real sleeps.
 The read side is :func:`read_status` plus :func:`render_status`, backing
 the ``repro-worksite status <dir>`` subcommand: done/running/pending
 counts, throughput, an ETA extrapolated from completed-cell durations,
-per-worker liveness, and stall warnings for cells whose age exceeds a
-rolling p95-based threshold.
+per-worker liveness, per-cell attempt numbers, retry totals, worker-budget
+degradation, and stall warnings for cells whose age exceeds a rolling
+p95-based threshold (each firing is also counted in ``stall_events``, so
+a finished campaign still shows whether its cells ever wedged).
 
 ``status.json`` is written atomically (temp file + ``os.replace``) so a
 concurrently-running ``status`` command never reads a torn file.
@@ -27,8 +30,9 @@ from typing import Dict, List, Optional
 
 from repro.sim.metrics import percentile
 
-#: status.json layout version
-STATUS_SCHEMA = 1
+#: status.json layout version (2: retries / stall_events / degraded_from
+#: / per-cell attempt numbers)
+STATUS_SCHEMA = 2
 
 #: a running cell is stalled when its age exceeds this multiple of the
 #: p95 completed-cell duration ...
@@ -60,6 +64,9 @@ class SweepMonitor:
         self.done = 0
         self.failed = 0
         self.cached = 0
+        self.retries = 0
+        self.stall_events = 0
+        self.degraded_from: Optional[int] = None
         self._running: Dict[str, dict] = {}
         self._durations: List[float] = []
         self._workers: Dict[int, float] = {}
@@ -87,6 +94,7 @@ class SweepMonitor:
                 "label": event.get("label", event["key"]),
                 "t": float(t) if isinstance(t, (int, float)) else 0.0,
                 "pid": pid,
+                "attempt": int(event.get("attempt", 1)),
             }
         elif name == "cell_finished":
             self._running.pop(event.get("key"), None)
@@ -100,7 +108,29 @@ class SweepMonitor:
             # duration stats would drag the stall threshold to zero
             if isinstance(wall_s, (int, float)) and not event.get("cached"):
                 self._durations.append(float(wall_s))
+        elif name == "cell_retry":
+            # the attempt ended (lost worker / timeout) and the cell went
+            # back to the queue: it is no longer running
+            self._running.pop(event.get("key"), None)
+            self.retries += 1
+        elif name == "workers_degraded":
+            if self.degraded_from is None:
+                self.degraded_from = int(event.get("old", self.jobs))
+            self.jobs = int(event.get("new", self.jobs))
         # "heartbeat" only refreshes last_t / worker liveness, done above
+
+        # stall accounting: flag each running cell the first time its age
+        # crosses the threshold, so a finished campaign still reports how
+        # often the detector fired (snapshot() recomputes liveness per
+        # call; this counter is the durable trace of it)
+        if isinstance(t, (int, float)):
+            threshold = self.stall_threshold_s()
+            if threshold is not None:
+                for cell in self._running.values():
+                    if (not cell.get("stall_flagged")
+                            and float(t) - cell["t"] > threshold):
+                        cell["stall_flagged"] = True
+                        self.stall_events += 1
 
     # -- snapshot -----------------------------------------------------------
     def stall_threshold_s(self) -> Optional[float]:
@@ -129,6 +159,7 @@ class SweepMonitor:
                 "label": cell["label"],
                 "age_s": age,
                 "pid": cell["pid"],
+                "attempt": cell.get("attempt", 1),
                 "stalled": threshold is not None and age > threshold,
             })
         executed = self.done - self.cached
@@ -151,6 +182,10 @@ class SweepMonitor:
             "done": self.done,
             "failed": self.failed,
             "cached": self.cached,
+            "retries": self.retries,
+            "stall_events": self.stall_events,
+            "degraded_from": self.degraded_from,
+            "jobs": self.jobs,
             "pending": pending,
             "elapsed_s": elapsed,
             "throughput_per_min": throughput,
@@ -203,6 +238,12 @@ def progress_line(status: dict) -> str:
     ]
     if status.get("failed"):
         parts.append(f"{status['failed']} failed")
+    if status.get("retries"):
+        parts.append(f"{status['retries']} retries")
+    if status.get("degraded_from") is not None:
+        parts.append(
+            f"DEGRADED {status['degraded_from']}->{status.get('jobs', '?')}"
+        )
     if status.get("throughput_per_min") is not None:
         parts.append(f"{status['throughput_per_min']:.1f}/min")
     if status.get("eta_s") is not None:
@@ -226,6 +267,16 @@ def render_status(status: dict) -> str:
         f"{status.get('cached', 0)} cached",
         f"elapsed:  {status.get('elapsed_s', 0.0)}s",
     ]
+    if status.get("retries") or status.get("stall_events"):
+        lines.append(
+            f"healing:  {status.get('retries', 0)} retried attempt(s), "
+            f"{status.get('stall_events', 0)} stall warning(s)"
+        )
+    if status.get("degraded_from") is not None:
+        lines.append(
+            f"workers:  DEGRADED {status['degraded_from']} -> "
+            f"{status.get('jobs', '?')} after repeated pool breakage"
+        )
     if status.get("throughput_per_min") is not None:
         lines.append(
             f"rate:     {status['throughput_per_min']:.2f} cells/min"
@@ -251,9 +302,12 @@ def render_status(status: dict) -> str:
         lines.append("running cells:")
         for cell in running:
             flag = "  ** STALLED **" if cell.get("stalled") else ""
+            attempt = cell.get("attempt", 1)
+            retry = f", attempt {attempt}" if attempt and attempt > 1 else ""
             lines.append(
                 f"  {cell.get('label', cell.get('key'))} "
-                f"(age {cell.get('age_s')}s, pid {cell.get('pid')}){flag}"
+                f"(age {cell.get('age_s')}s, pid {cell.get('pid')}"
+                f"{retry}){flag}"
             )
     threshold = status.get("stall_threshold_s")
     if threshold is not None:

@@ -50,15 +50,35 @@ class ResultStore:
 
     def append(self, record: dict) -> None:
         """Append one record and flush it to disk."""
+        self.append_many([record])
+
+    def append_many(self, records: Iterable[dict]) -> None:
+        """Append a batch of records with one write and one fsync.
+
+        Serialising the whole batch before opening the file keeps the
+        append all-or-nothing at the Python level; a crash mid-batch can
+        still tear the final line at the OS level, which ``load`` already
+        tolerates.
+        """
+        lines = [json.dumps(r, sort_keys=True) + "\n" for r in records]
+        if not lines:
+            return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.write("".join(lines))
             fh.flush()
             os.fsync(fh.fileno())
 
-    def append_many(self, records: Iterable[dict]) -> None:
-        for record in records:
-            self.append(record)
+    # -- engine store protocol (attempt-level detail) -----------------------
+    # The JSONL store keeps final records only; the SQLite campaign store
+    # (repro.runner.campaign) implements these for real.
+
+    def mark_running(self, key: str, attempt: int) -> None:
+        """No-op: the JSONL cache has no cell lifecycle."""
+
+    def record_attempt(self, key: str, attempt: int, *, status: str,
+                       error=None, wall_s=None, pid=None) -> None:
+        """No-op: the JSONL cache keeps no per-attempt history."""
 
 
 def open_store(path: Optional[os.PathLike]) -> Optional[ResultStore]:

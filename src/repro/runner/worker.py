@@ -28,8 +28,13 @@ from repro.perf import counters as perf
 from repro.runner.spec import RunSpec
 
 
-def execute_run(spec: Union[RunSpec, Mapping]) -> dict:
-    """Execute one run; never raises (failures become failed records)."""
+def execute_run(spec: Union[RunSpec, Mapping], attempt: int = 1) -> dict:
+    """Execute one run; never raises (failures become failed records).
+
+    ``attempt`` is the execution attempt number under the engine's retry
+    policy (1 for first tries); it is stamped into the record so the
+    campaign store can attribute the result to the right attempt row.
+    """
     if not isinstance(spec, RunSpec):
         spec = RunSpec.from_dict(spec)
     if perf.enabled():
@@ -53,6 +58,8 @@ def execute_run(spec: Union[RunSpec, Mapping]) -> dict:
         # which pool worker ran the cell — feeds per-worker liveness in
         # the sweep monitor; wall-clock-adjacent, so outside ``result``
         "pid": os.getpid(),
+        # which retry attempt produced this record (1 = first try)
+        "attempt": int(attempt),
     }
     if perf.enabled():
         record["perf"] = perf.snapshot()

@@ -1,0 +1,287 @@
+"""Unit tests for the SQLite campaign store, the engine binding, the
+retry policy, and the dispatcher registry.
+
+The store is the durable half of the self-healing campaign service: these
+tests pin down the schema contract (WAL mode, campaigns/cells/attempts),
+the engine's duck-typed store protocol through ``CampaignBinding``, the
+one-way JSONL import path, and the determinism of the retry schedule.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.runner import (
+    DISPATCHERS,
+    CampaignStore,
+    CellRetryPolicy,
+    LocalPoolDispatcher,
+    ResultStore,
+    RunSpec,
+    SweepRunner,
+    make_dispatcher,
+    open_campaign_store,
+)
+
+TINY = {
+    "width": 160.0, "height": 160.0, "tree_density": 0.01,
+    "n_workers": 1, "drone_enabled": False,
+}
+
+
+def tiny_spec(campaign="baseline", seed=1, **kwargs):
+    kwargs.setdefault("overrides", TINY)
+    return RunSpec.single(
+        campaign, seed=seed, horizon_s=90.0,
+        start=20.0, duration=40.0, **kwargs,
+    )
+
+
+class TestSchema:
+    def test_database_is_wal_mode(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.db")
+        with sqlite3.connect(store.path) as conn:
+            (mode,) = conn.execute("PRAGMA journal_mode").fetchone()
+        assert mode == "wal"
+
+    def test_schema_version_is_stamped(self, tmp_path):
+        from repro.runner.campaign import CAMPAIGN_SCHEMA
+
+        store = CampaignStore(tmp_path / "c.db")
+        with sqlite3.connect(store.path) as conn:
+            (version,) = conn.execute("PRAGMA user_version").fetchone()
+        assert version == CAMPAIGN_SCHEMA
+
+    def test_parent_directory_is_created(self, tmp_path):
+        CampaignStore(tmp_path / "deep" / "nested" / "c.db")
+        assert (tmp_path / "deep" / "nested" / "c.db").exists()
+
+    def test_open_campaign_store_none_passthrough(self, tmp_path):
+        assert open_campaign_store(None) is None
+        assert open_campaign_store(tmp_path / "c.db") is not None
+
+
+class TestCampaignLifecycle:
+    def test_ensure_campaign_is_idempotent(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.db")
+        specs = [tiny_spec(seed=1), tiny_spec(seed=2)]
+        first = store.ensure_campaign("night", specs)
+        second = store.ensure_campaign("night", specs)
+        assert first == second
+        (summary,) = store.list_campaigns()
+        assert summary["cells"] == 2
+
+    def test_ensure_campaign_extends_a_grown_grid(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.db")
+        store.ensure_campaign("night", [tiny_spec(seed=1)])
+        store.ensure_campaign("night", [tiny_spec(seed=1), tiny_spec(seed=2)])
+        (summary,) = store.list_campaigns()
+        assert summary["cells"] == 2
+
+    def test_specs_round_trip_in_declaration_order(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.db")
+        specs = [tiny_spec(seed=3), tiny_spec(seed=1), tiny_spec(seed=2)]
+        store.ensure_campaign("ordered", specs)
+        assert store.specs("ordered") == specs
+
+    def test_unknown_campaign_raises(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.db")
+        with pytest.raises(ValueError, match="no campaign named"):
+            store.specs("ghost")
+        with pytest.raises(ValueError, match="no campaign named"):
+            store.bind("ghost")
+
+    def test_meta_round_trips(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.db")
+        store.ensure_campaign("tagged", [], meta={"source": "test"})
+        (summary,) = store.list_campaigns()
+        assert summary["meta"] == {"source": "test"}
+
+
+class TestBinding:
+    def test_append_and_completed_keys_round_trip(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.db")
+        spec = tiny_spec(seed=1)
+        store.ensure_campaign("rt", [spec])
+        binding = store.bind("rt")
+        assert binding.completed_keys() == {}
+        record = {"key": spec.key, "spec": spec.to_dict(), "status": "ok",
+                  "error": None, "result": {"x": 1}, "wall_s": 0.5,
+                  "attempts": 1}
+        binding.append(record)
+        assert binding.completed_keys() == {spec.key: record}
+        assert binding.load() == {spec.key: record}
+
+    def test_failed_records_are_not_completed(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.db")
+        spec = tiny_spec(seed=1)
+        store.ensure_campaign("f", [spec])
+        binding = store.bind("f")
+        binding.append({"key": spec.key, "spec": spec.to_dict(),
+                        "status": "failed", "error": "boom", "result": None})
+        assert binding.completed_keys() == {}
+        assert spec.key in binding.load()
+
+    def test_append_adopts_undeclared_cells(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.db")
+        store.ensure_campaign("adhoc", [])
+        binding = store.bind("adhoc")
+        spec = tiny_spec(seed=9)
+        binding.append({"key": spec.key, "spec": spec.to_dict(),
+                        "status": "ok", "result": {}})
+        assert store.specs("adhoc") == [spec]
+
+    def test_attempts_are_recorded_and_queryable(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.db")
+        spec = tiny_spec(seed=1)
+        store.ensure_campaign("att", [spec])
+        binding = store.bind("att")
+        binding.mark_running(spec.key, 1)
+        binding.record_attempt(spec.key, 1, status="lost",
+                               error="worker died")
+        binding.record_attempt(spec.key, 2, status="ok", wall_s=0.4,
+                               pid=1234)
+        rows = store.attempts("att", spec.key)
+        assert [(r["attempt"], r["status"]) for r in rows] == \
+               [(1, "lost"), (2, "ok")]
+        assert rows[0]["error"] == "worker died"
+        assert rows[1]["pid"] == 1234
+        detail = store.show("att")
+        (cell,) = detail["cells_detail"]
+        assert cell["attempts"] == 2
+        assert cell["status"] == "running"
+
+    def test_mark_running_never_demotes_a_finished_cell(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.db")
+        spec = tiny_spec(seed=1)
+        store.ensure_campaign("done", [spec])
+        binding = store.bind("done")
+        binding.append({"key": spec.key, "spec": spec.to_dict(),
+                        "status": "ok", "result": {}})
+        binding.mark_running(spec.key, 2)
+        detail = store.show("done")
+        assert detail["cells_detail"][0]["status"] == "ok"
+
+
+class TestEngineIntegration:
+    def test_sweep_runner_writes_through_the_binding(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.db")
+        specs = [tiny_spec(seed=1), tiny_spec(seed=2)]
+        store.ensure_campaign("run", specs)
+        report = SweepRunner(jobs=1, store=store.bind("run")).run(specs)
+        assert report.executed == 2
+        (summary,) = store.list_campaigns()
+        assert (summary["ok"], summary["pending"]) == (2, 0)
+        # every execution left an attempt row
+        assert len(store.attempts("run")) == 2
+
+    def test_resume_executes_only_the_delta(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.db")
+        specs = [tiny_spec(seed=1), tiny_spec(seed=2)]
+        store.ensure_campaign("delta", specs)
+        binding = store.bind("delta")
+        SweepRunner(jobs=1, store=binding).run([specs[0]])
+        report = SweepRunner(jobs=1, store=binding).run(specs, resume=True)
+        assert (report.executed, report.cached) == (1, 1)
+
+    def test_campaign_results_match_jsonl_results(self, tmp_path):
+        """Same specs, same results, whichever store backs the sweep."""
+        specs = [tiny_spec(seed=1), tiny_spec(campaign="rf_jamming", seed=1)]
+        jsonl = ResultStore(tmp_path / "sweep.jsonl")
+        via_jsonl = SweepRunner(jobs=1, store=jsonl).run(specs)
+        store = CampaignStore(tmp_path / "c.db")
+        store.ensure_campaign("parity", specs)
+        via_db = SweepRunner(jobs=1, store=store.bind("parity")).run(specs)
+        assert [json.dumps(r["result"], sort_keys=True)
+                for r in via_jsonl.records] == \
+               [json.dumps(r["result"], sort_keys=True)
+                for r in via_db.records]
+
+
+class TestJsonlImport:
+    def test_import_promotes_records_and_synthesises_attempts(
+        self, tmp_path
+    ):
+        specs = [tiny_spec(seed=1), tiny_spec(seed=2)]
+        jsonl = ResultStore(tmp_path / "legacy.jsonl")
+        SweepRunner(jobs=1, store=jsonl).run(specs)
+        store = CampaignStore(tmp_path / "c.db")
+        imported = store.import_jsonl(jsonl.path, "migrated")
+        assert imported == {"campaign": "migrated", "cells": 2,
+                            "ok": 2, "failed": 0}
+        binding = store.bind("migrated")
+        assert binding.completed_keys().keys() == \
+               {spec.key for spec in specs}
+        # one synthetic attempt per imported record
+        assert len(store.attempts("migrated")) == 2
+        # a resumed sweep over the imported campaign is all cache hits
+        report = SweepRunner(jobs=1, store=binding).run(specs, resume=True)
+        assert (report.executed, report.cached) == (0, 2)
+
+    def test_import_tolerates_a_torn_tail(self, tmp_path):
+        spec = tiny_spec(seed=1)
+        path = tmp_path / "legacy.jsonl"
+        record = {"key": spec.key, "spec": spec.to_dict(), "status": "ok",
+                  "error": None, "result": {}, "wall_s": 0.1}
+        path.write_text(json.dumps(record) + "\n" + '{"key": "tru',
+                        encoding="utf-8")
+        store = CampaignStore(tmp_path / "c.db")
+        imported = store.import_jsonl(path, "torn")
+        assert imported["cells"] == 1
+
+
+class TestCellRetryPolicy:
+    def test_should_retry_matrix(self):
+        policy = CellRetryPolicy(max_attempts=3)
+        assert policy.should_retry("lost", 1)
+        assert policy.should_retry("timeout", 2)
+        # attempt budget exhausted
+        assert not policy.should_retry("lost", 3)
+        # deterministic outcomes are final by default
+        assert not policy.should_retry("failed", 1)
+        assert not policy.should_retry("error", 1)
+        assert not policy.should_retry("ok", 1)
+
+    def test_retry_failed_results_opt_in(self):
+        policy = CellRetryPolicy(max_attempts=3, retry_failed_results=True)
+        assert policy.should_retry("failed", 1)
+        assert not policy.should_retry("failed", 3)
+        # error (unpicklable and friends) stays final even opted in
+        assert not policy.should_retry("error", 1)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = CellRetryPolicy(base_delay_s=0.1, backoff_factor=2.0,
+                                 max_delay_s=0.35, jitter_s=0.0)
+        spec = tiny_spec(seed=1)
+        delays = [policy.delay_s(spec, a) for a in (1, 2, 3, 4)]
+        assert delays == [0.1, 0.2, 0.35, 0.35]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = CellRetryPolicy(base_delay_s=0.1, jitter_s=0.05)
+        spec = tiny_spec(seed=1)
+        first = policy.delay_s(spec, 1)
+        assert first == policy.delay_s(spec, 1)
+        assert 0.1 <= first <= 0.15
+        # different attempts and seeds land on different jitter
+        assert policy.delay_s(spec, 2) != policy.delay_s(spec, 1)
+        assert policy.delay_s(tiny_spec(seed=2), 1) != first
+
+
+class TestDispatcherRegistry:
+    def test_local_dispatcher_is_registered(self):
+        assert DISPATCHERS["local"] is LocalPoolDispatcher
+
+    def test_make_dispatcher_builds_by_name(self):
+        dispatcher = make_dispatcher("local", 2, cell_timeout_s=5.0)
+        assert isinstance(dispatcher, LocalPoolDispatcher)
+        assert dispatcher.workers == 2
+        assert dispatcher.cell_timeout_s == 5.0
+
+    def test_make_dispatcher_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown dispatcher"):
+            make_dispatcher("cloud", 2)
+
+    def test_dispatcher_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            LocalPoolDispatcher(0)

@@ -102,6 +102,85 @@ class TestFold:
         assert after["workers"]["100"]["idle_s"] == 0.0
 
 
+class TestSelfHealingFolds:
+    def test_cell_retry_requeues_and_counts(self):
+        monitor = _fold([
+            {"event": "sweep_started", "total": 2, "jobs": 2, "t": 0.0},
+            {"event": "cell_started", "key": "a", "label": "cell a",
+             "t": 1.0},
+            {"event": "cell_retry", "key": "a", "attempt": 1,
+             "kind": "lost", "t": 2.0},
+        ])
+        snapshot = monitor.snapshot(now=2.0)
+        # the attempt ended: the cell is back in the queue, not running
+        assert snapshot["running"] == []
+        assert snapshot["retries"] == 1
+        assert snapshot["done"] == 0
+
+    def test_restarted_cell_carries_its_attempt_number(self):
+        monitor = _fold([
+            {"event": "sweep_started", "total": 1, "jobs": 1, "t": 0.0},
+            {"event": "cell_started", "key": "a", "label": "cell a",
+             "t": 1.0, "attempt": 1},
+            {"event": "cell_retry", "key": "a", "attempt": 1,
+             "kind": "timeout", "t": 2.0},
+            {"event": "cell_started", "key": "a", "label": "cell a",
+             "t": 3.0, "attempt": 2},
+        ])
+        (running,) = monitor.snapshot(now=3.0)["running"]
+        assert running["attempt"] == 2
+
+    def test_workers_degraded_updates_jobs_and_remembers_origin(self):
+        monitor = _fold([
+            {"event": "sweep_started", "total": 4, "jobs": 8, "t": 0.0},
+            {"event": "workers_degraded", "old": 8, "new": 4, "t": 5.0},
+            {"event": "workers_degraded", "old": 4, "new": 2, "t": 9.0},
+        ])
+        snapshot = monitor.snapshot(now=9.0)
+        # degraded_from pins the *original* budget across repeated shrinks
+        assert snapshot["degraded_from"] == 8
+        assert snapshot["jobs"] == 2
+
+    def test_stall_events_counter_survives_cell_completion(self):
+        events = _events(n_cells=4, cell_s=10.0)
+        threshold = _fold(events).stall_threshold_s()
+        events.append({"event": "cell_started", "key": "slow",
+                       "label": "slow", "t": 40.0})
+        # a heartbeat past the threshold fires the durable counter
+        events.append({"event": "heartbeat",
+                       "t": 41.0 + threshold + 40.0})
+        events.append({"event": "cell_finished", "key": "slow",
+                       "status": "ok", "cached": False, "wall_s": 60.0,
+                       "t": 42.0 + threshold + 40.0})
+        monitor = _fold(events)
+        assert monitor.stall_events == 1
+        assert monitor.snapshot()["stall_events"] == 1
+        # flagged once, not once per subsequent event
+        assert monitor.snapshot()["running"] == []
+
+    def test_progress_line_and_render_surface_healing(self):
+        monitor = _fold([
+            {"event": "sweep_started", "total": 2, "jobs": 4, "t": 0.0},
+            {"event": "cell_retry", "key": "a", "attempt": 1,
+             "kind": "lost", "t": 1.0},
+            {"event": "workers_degraded", "old": 4, "new": 2, "t": 2.0},
+        ])
+        line = progress_line(monitor.snapshot(now=2.0))
+        assert "1 retries" in line
+        assert "DEGRADED 4->2" in line
+        text = render_status(monitor.snapshot(now=2.0))
+        assert "1 retried attempt(s)" in text
+        assert "DEGRADED 4 -> 2" in text
+
+    def test_render_status_shows_retry_attempts(self):
+        monitor = _fold([
+            {"event": "sweep_started", "total": 1, "jobs": 1, "t": 0.0},
+            {"event": "cell_started", "key": "a", "label": "cell a",
+             "t": 1.0, "attempt": 3},
+        ])
+        assert ", attempt 3" in render_status(monitor.snapshot(now=2.0))
+
+
 class TestStallDetection:
     def test_no_threshold_until_enough_completions(self):
         events = _events(n_cells=MIN_COMPLETED_FOR_STALL)[

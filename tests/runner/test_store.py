@@ -55,3 +55,52 @@ class TestResultStore:
     def test_open_store_none_passthrough(self, tmp_path):
         assert open_store(None) is None
         assert isinstance(open_store(tmp_path / "r.jsonl"), ResultStore)
+
+    def test_attempt_protocol_is_a_no_op(self, tmp_path):
+        # the JSONL store satisfies the engine's store protocol but keeps
+        # no lifecycle; the calls must be accepted and change nothing
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.mark_running("aa", 1)
+        store.record_attempt("aa", 1, status="lost", error="x",
+                             wall_s=0.1, pid=99)
+        assert not (tmp_path / "r.jsonl").exists()
+
+
+class TestBatchedAppend:
+    def test_append_many_round_trips(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append_many([_record("aa"), _record("bb"), _record("cc")])
+        assert set(store.load()) == {"aa", "bb", "cc"}
+
+    def test_append_many_is_one_write_one_fsync(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        import repro.runner.store as store_module
+
+        fsyncs = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            store_module.os, "fsync",
+            lambda fd: (fsyncs.append(fd), real_fsync(fd)),
+        )
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append_many([_record(f"k{i}") for i in range(10)])
+        assert len(fsyncs) == 1
+        # and the batch landed as 10 intact lines
+        assert len((tmp_path / "r.jsonl").read_text().splitlines()) == 10
+
+    def test_append_many_empty_batch_writes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append_many([])
+        assert not (tmp_path / "r.jsonl").exists()
+
+    def test_torn_tail_after_a_batch_is_tolerated(self, tmp_path):
+        # the batched write keeps the crash contract honest: a truncated
+        # final line (OS-level tear mid-batch) must not poison the cache
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append_many([_record("aa"), _record("bb")])
+        text = path.read_text(encoding="utf-8")
+        torn = text[: text.rindex('"result"') + 12]  # cut inside line 2
+        path.write_text(torn, encoding="utf-8")
+        assert set(store.load()) == {"aa"}

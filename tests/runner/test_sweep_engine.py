@@ -168,6 +168,31 @@ class TestFailureIsolation:
         assert "unknown campaign" in failure["error"]
 
 
+class TestReportAttempts:
+    def test_clean_run_reports_one_attempt_per_cell(self):
+        specs = [tiny_spec(seed=1), tiny_spec(seed=2)]
+        report = run_sweep(specs, jobs=1)
+        assert report.attempts == {s.key: 1 for s in specs}
+        assert report.total_attempts == 2
+        assert report.retries == 0
+        assert report.stalls == 0
+        for record in report.records:
+            assert record["attempts"] == 1
+
+    def test_cached_cells_report_zero_new_attempts(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        spec = tiny_spec(seed=1)
+        SweepRunner(jobs=1, store=store).run([spec])
+        report = SweepRunner(jobs=1, store=store).run([spec], resume=True)
+        assert report.attempts == {spec.key: 0}
+        assert report.total_attempts == 0
+
+    def test_pool_run_reports_attempts_too(self):
+        specs = [tiny_spec(seed=1), tiny_spec(seed=2)]
+        report = run_sweep(specs, jobs=2)
+        assert report.attempts == {s.key: 1 for s in specs}
+
+
 class TestParallelEquivalence:
     def test_jobs_1_and_jobs_4_produce_identical_results(self):
         specs = [

@@ -318,6 +318,126 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "[sweep] 2/2 done" in out
 
+    def test_sweep_prints_healing_summary(self, tmp_path, capsys):
+        assert main(["sweep", *self.SMALL, "--quiet", "--no-table",
+                     "--out", str(tmp_path / "sweep.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "2 over 2 executed cell(s)" in out
+        assert "0 stall warning(s)" in out
+
+    def test_sweep_rejects_nonpositive_max_attempts(self, tmp_path, capsys):
+        assert main(["sweep", "--campaigns", "baseline", "--seeds", "1",
+                     "--max-attempts", "0",
+                     "--out", str(tmp_path / "s.jsonl")]) == 2
+        assert "--max-attempts must be >= 1" in capsys.readouterr().err
+
+    def test_sweep_into_campaign_db(self, tmp_path, capsys):
+        from repro.runner import CampaignStore
+
+        db = str(tmp_path / "campaigns.db")
+        assert main(["sweep", *self.SMALL, "--quiet", "--no-table",
+                     "--campaign-db", db]) == 0
+        assert "2 executed" in capsys.readouterr().out
+        # resume against the DB serves everything from the campaign
+        assert main(["sweep", *self.SMALL, "--quiet", "--no-table",
+                     "--campaign-db", db, "--resume"]) == 0
+        assert "0 executed, 2 cached" in capsys.readouterr().out
+        (summary,) = CampaignStore(db).list_campaigns()
+        assert summary["name"] == "sweep"
+        assert summary["ok"] == 2
+        # status.json lands next to the DB, not next to --out
+        assert (tmp_path / "status.json").exists()
+
+
+class TestCampaignCommand:
+    GRID = ["--campaigns", "baseline", "--seeds", "11,12",
+            "--minutes", "1", "--start", "10", "--duration", "30"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["campaign", "start", "night"])
+        assert args.name == "night"
+        assert args.db == "out/campaigns.db"
+        assert args.jobs == 1
+        assert args.max_attempts is None
+        assert args.cell_timeout is None
+        assert args.from_jsonl is None
+        args = build_parser().parse_args(["campaign", "show", "night",
+                                          "--attempts"])
+        assert args.attempts
+
+    def test_start_run_and_show(self, tmp_path, capsys):
+        db = str(tmp_path / "c.db")
+        assert main(["campaign", "start", "night", "--db", db,
+                     *self.GRID, "--quiet", "--no-table"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign 'night': 2 cell(s)" in out
+        assert "2 executed" in out
+        assert main(["campaign", "show", "night", "--db", db,
+                     "--attempts"]) == 0
+        out = capsys.readouterr().out
+        assert "2 total, 2 ok" in out
+        assert "attempt history:" in out
+        assert "#1 ok" in out
+
+    def test_start_requires_a_grid_or_import(self, tmp_path, capsys):
+        assert main(["campaign", "start", "empty",
+                     "--db", str(tmp_path / "c.db")]) == 2
+        assert "give a sweep grid" in capsys.readouterr().err
+
+    def test_start_refuses_an_existing_name(self, tmp_path, capsys):
+        db = str(tmp_path / "c.db")
+        assert main(["campaign", "start", "night", "--db", db,
+                     *self.GRID, "--quiet", "--no-table"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "start", "night", "--db", db,
+                     *self.GRID]) == 2
+        assert "use 'campaign resume'" in capsys.readouterr().err
+
+    def test_resume_completes_the_remainder(self, tmp_path, capsys):
+        from repro.runner import CampaignStore
+
+        db = str(tmp_path / "c.db")
+        assert main(["campaign", "start", "night", "--db", db,
+                     *self.GRID, "--quiet", "--no-table"]) == 0
+        capsys.readouterr()
+        # a completed campaign resumes to all-cached, not re-execution
+        assert main(["campaign", "resume", "night", "--db", db,
+                     "--quiet", "--no-table"]) == 0
+        assert "0 executed, 2 cached" in capsys.readouterr().out
+        (summary,) = CampaignStore(db).list_campaigns()
+        assert summary["attempts"] == 2
+
+    def test_resume_unknown_campaign_errors(self, tmp_path, capsys):
+        assert main(["campaign", "resume", "ghost",
+                     "--db", str(tmp_path / "c.db")]) == 2
+        assert "no campaign named" in capsys.readouterr().err
+
+    def test_list_campaigns(self, tmp_path, capsys):
+        db = str(tmp_path / "c.db")
+        assert main(["campaign", "list", "--db", db]) == 0
+        assert "no campaigns" in capsys.readouterr().out
+        assert main(["campaign", "start", "night", "--db", db,
+                     *self.GRID, "--quiet", "--no-table"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "list", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "night" in out
+        assert "attempts" in out
+
+    def test_start_from_jsonl_import(self, tmp_path, capsys):
+        jsonl = str(tmp_path / "legacy.jsonl")
+        assert main(["sweep", "--campaigns", "baseline", "--seeds", "11",
+                     "--minutes", "1", "--quiet", "--no-table",
+                     "--out", jsonl]) == 0
+        capsys.readouterr()
+        db = str(tmp_path / "c.db")
+        assert main(["campaign", "start", "migrated", "--db", db,
+                     "--from-jsonl", jsonl, "--quiet", "--no-table"]) == 0
+        out = capsys.readouterr().out
+        assert "imported 1 cell(s)" in out
+        # the imported cell is already ok: nothing re-executes
+        assert "0 executed, 1 cached" in out
+
 
 class TestStatusCommand:
     def test_status_of_finished_sweep(self, tmp_path, capsys):
