@@ -326,7 +326,17 @@ def cmd_trace(args) -> int:
               f"available: {', '.join(sorted(CAMPAIGN_BUILDERS))}",
               file=sys.stderr)
         return 2
-    scenario = build_worksite(_scenario_config(args))
+    if (args.gs_attacks or args.audit_out) and not args.gs:
+        print("trace: --gs-attacks/--audit-out require --gs", file=sys.stderr)
+        return 2
+    config = _scenario_config(args)
+    if args.gs:
+        config.groundstation_enabled = True
+        config.gs_attacks = args.gs_attacks or ""
+        if args.audit_out:
+            Path(args.audit_out).parent.mkdir(parents=True, exist_ok=True)
+            config.gs_audit_path = args.audit_out
+    scenario = build_worksite(config)
     horizon = args.minutes * 60.0
     try:
         schedule = _fault_schedule(args)
@@ -335,6 +345,13 @@ def cmd_trace(args) -> int:
         return 2
     # the equivalent primitive spec, embedded in the header so the trace
     # is self-describing and `check` can differentially replay it
+    overrides = {}
+    if args.no_drone:
+        overrides["drone_enabled"] = False
+    if args.gs:
+        overrides["groundstation_enabled"] = True
+        if args.gs_attacks:
+            overrides["gs_attacks"] = args.gs_attacks
     spec = RunSpec.single(
         args.campaign or "baseline",
         seed=args.seed,
@@ -342,7 +359,7 @@ def cmd_trace(args) -> int:
         profile="undefended" if args.undefended else "defended",
         start=args.start,
         duration=args.duration,
-        overrides={"drone_enabled": False} if args.no_drone else None,
+        overrides=overrides or None,
         faults=tuple(
             fault.to_primitives() for fault in schedule.faults
         ) if schedule is not None else (),
@@ -382,6 +399,10 @@ def cmd_trace(args) -> int:
     try:
         with installed(tracer):
             scenario.run(horizon)
+            if scenario.groundstation is not None:
+                # close the audit chain inside the traced window so the
+                # close entry lands in both the trace and the audit file
+                scenario.groundstation.finalize()
         # close while the checker still observes: end-of-trace span ends
         # are part of the discipline the spans invariant checks
         tracer.close()
@@ -389,6 +410,11 @@ def cmd_trace(args) -> int:
         if checker is not None:
             checks.uninstall()
     print(f"trace:            {tracer.record_count} records")
+    if scenario.groundstation is not None:
+        audit = scenario.groundstation.audit.summary()
+        where = f" -> {args.audit_out}" if args.audit_out else ""
+        print(f"audit:            {audit['entries']} entries, "
+              f"head {audit['head'][:16]}...{where}")
     if spans:
         span_info = tracer.summary().get("spans") or {}
         print(f"spans:            {span_info.get('records', 0)} span records")
@@ -440,6 +466,66 @@ def cmd_check(args) -> int:
     print(check_report(report))
     if args.report:
         print(f"report:           {write_report(report, args.report)}")
+    return 0 if report["ok"] else 1
+
+
+def cmd_audit_verify(args) -> int:
+    import dataclasses
+    import json as _json
+
+    from repro.groundstation.audit import (
+        evidence_from_report, verify_audit_file,
+    )
+
+    if args.selftest:
+        from repro.groundstation.selftest import run_audit_selftest
+
+        report = run_audit_selftest()
+        print(f"audit self-test: {report['detected']}/{report['mutations']} "
+              f"tamper mutations detected and localised")
+        for result in report["results"]:
+            first = result.get("first_violation") or {}
+            print(f"  {result['mutation']:<20} -> "
+                  f"{first.get('check', '-'):<10} "
+                  f"@ entry {first.get('index', '-'):<4} "
+                  f"{'ok' if result['ok'] else 'MISSED'}")
+        if args.report:
+            path = Path(args.report)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(_json.dumps(report, indent=2, sort_keys=True))
+            print(f"report:           {path}")
+        return 0 if report["ok"] else 1
+
+    if not args.audit:
+        print("audit verify: --audit PATH (or --selftest) required",
+              file=sys.stderr)
+        return 2
+    try:
+        report = verify_audit_file(
+            args.audit, require_close=not args.allow_partial
+        )
+    except (OSError, ValueError) as exc:
+        print(f"audit verify error: {exc}", file=sys.stderr)
+        return 2
+    print(f"audit chain:      {report['entries']} entries, "
+          f"seed {report['seed']}")
+    print(f"head:             {report['head']}")
+    complete = "yes" if report["complete"] else "no"
+    if report.get("torn_tail"):
+        complete += " (torn tail dropped)"
+    print(f"complete:         {complete}")
+    for violation in report["violations"]:
+        print(f"  entry {violation['index']:>4} "
+              f"[{violation['check']}] {violation['message']}")
+    print(f"verdict:          {'ok' if report['ok'] else 'TAMPERED'}")
+    if args.report:
+        evidence = dataclasses.asdict(evidence_from_report(report))
+        payload = dict(report)
+        payload["evidence"] = evidence
+        path = Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(payload, indent=2, sort_keys=True))
+        print(f"report:           {path}")
     return 0 if report["ok"] else 1
 
 
@@ -1195,6 +1281,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "format) from the trace's spans")
     trace_p.add_argument("--no-report", action="store_true",
                          help="record only, skip the analysis reports")
+    trace_p.add_argument("--gs", action="store_true",
+                         help="arm the signed ground-station command/alert "
+                              "plane (adds gs.* records to the trace)")
+    trace_p.add_argument("--gs-attacks", default=None, metavar="KINDS",
+                         help="'+'-separated ground-station attacks to run "
+                              "(command_forgery, command_replay, "
+                              "alert_suppression); requires --gs")
+    trace_p.add_argument("--audit-out", default=None, metavar="PATH",
+                         help="write the hash-chained audit log here "
+                              "(verify with `audit verify`); requires --gs")
     fault_flags(trace_p)
     trace_p.set_defaults(func=cmd_trace)
 
@@ -1214,6 +1310,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the mutation self-test: seed known "
                               "violations, assert each is flagged")
     check_p.set_defaults(func=cmd_check)
+
+    audit_p = sub.add_parser(
+        "audit",
+        help="work with ground-station audit chains",
+    )
+    audit_sub = audit_p.add_subparsers(dest="audit_command", required=True)
+    averify_p = audit_sub.add_parser(
+        "verify",
+        help="verify a hash-chained audit log offline and emit the "
+             "evidence report",
+    )
+    averify_p.add_argument("--audit", default=None, metavar="PATH",
+                           help="audit JSONL file written by "
+                                "`trace --gs --audit-out`")
+    averify_p.add_argument("--report", default=None, metavar="PATH",
+                           help="write the JSON verification report "
+                                "(with assurance evidence) here")
+    averify_p.add_argument("--allow-partial", action="store_true",
+                           help="accept a chain without a close entry "
+                                "(crash-recovered logs)")
+    averify_p.add_argument("--selftest", action="store_true",
+                           help="run the tamper self-test: mutate a known "
+                                "chain 9 ways, assert each is localised")
+    averify_p.set_defaults(func=cmd_audit_verify)
 
     fuzz_p = sub.add_parser(
         "fuzz",

@@ -53,6 +53,14 @@ DEFAULT_RULES: List[SignatureRule] = [
     SignatureRule("frame-loss-burst", "frame_lost", 25, 10.0, "rf_jamming"),
     SignatureRule("heartbeat-loss", "heartbeat_lost", 1, 1.0, "rf_jamming", cooldown_s=30.0),
     SignatureRule("sensor-blinded", "sensor_blinded", 1, 1.0, "camera_blinding"),
+    # ground-station plane (event kinds only fire when the plane is armed,
+    # so these rules are inert — zero perturbation — in plane-off runs)
+    SignatureRule("gs-command-forgeries", "gs_command_rejected", 2, 30.0,
+                  "command_forgery"),
+    SignatureRule("gs-command-replays", "gs_replay_rejected", 2, 30.0,
+                  "command_replay"),
+    SignatureRule("gs-alert-gap", "gs_alert_gap", 1, 1.0,
+                  "alert_suppression", cooldown_s=30.0),
 ]
 
 

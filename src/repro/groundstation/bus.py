@@ -1,0 +1,85 @@
+"""The deterministic MQTT-style topic bus.
+
+The bus is transport, not trust: it routes opaque wires to subscribers
+after a fixed uplink latency and never inspects signatures — exactly like
+a broker an adversary may own.  Security properties live entirely at the
+endpoints (codec signatures, replay windows, the audit chain), which is
+what the attack tier exercises: a tap models an eavesdropping adversary,
+a drop filter models alert suppression at the broker.
+
+Topic grammar is the MQTT subset the plane needs: exact topics
+(``gs/cmd/forwarder``) and multi-level wildcards (``gs/#`` matches every
+topic under ``gs/``).  Delivery order is deterministic: subscribers fire
+in subscription order through the sim's event queue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+#: fixed uplink latency between publish and delivery (simulated seconds)
+LATENCY_S = 0.02
+
+Handler = Callable[[str, bytes], None]
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """MQTT-subset match: exact, or a trailing ``#`` multi-level wildcard."""
+    if pattern.endswith("#"):
+        return topic.startswith(pattern[:-1])
+    return pattern == topic
+
+
+class GsBus:
+    """Deterministic pub/sub with taps and drop filters for the attack tier."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self._subs: List[Tuple[str, Handler]] = []
+        self._taps: List[Handler] = []
+        self._drop_filters: List[str] = []
+        self.published = 0
+        self.delivered = 0
+        self.suppressed = 0
+
+    def subscribe(self, pattern: str, handler: Handler) -> None:
+        self._subs.append((str(pattern), handler))
+
+    def tap(self, handler: Handler) -> None:
+        """Observe every publish immediately (the eavesdropper's vantage)."""
+        self._taps.append(handler)
+
+    def add_drop_filter(self, pattern: str) -> None:
+        """Silently discard matching publishes (broker-level suppression)."""
+        self._drop_filters.append(str(pattern))
+
+    def remove_drop_filter(self, pattern: str) -> None:
+        self._drop_filters.remove(str(pattern))
+
+    def publish(self, topic: str, wire: bytes) -> int:
+        """Route one wire; returns the number of deliveries scheduled."""
+        topic = str(topic)
+        self.published += 1
+        for tap in self._taps:
+            tap(topic, wire)
+        if any(topic_matches(p, topic) for p in self._drop_filters):
+            self.suppressed += 1
+            return 0
+        scheduled = 0
+        for pattern, handler in self._subs:
+            if topic_matches(pattern, topic):
+                self.sim.schedule(
+                    LATENCY_S,
+                    lambda h=handler, t=topic, w=bytes(wire): h(t, w),
+                )
+                scheduled += 1
+        self.delivered += scheduled
+        return scheduled
+
+    def summary(self) -> dict:
+        return {
+            "published": self.published,
+            "delivered": self.delivered,
+            "suppressed": self.suppressed,
+            "subscriptions": len(self._subs),
+        }

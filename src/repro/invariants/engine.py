@@ -74,6 +74,9 @@ def default_invariants() -> List[Invariant]:
     from repro.invariants.frames import (
         DropTaxonomyInvariant, FrameCausalityInvariant,
     )
+    from repro.invariants.groundstation import (
+        AuditChainInvariant, CommandCausalityInvariant,
+    )
     from repro.invariants.ids import AlertAttributionInvariant
     from repro.invariants.modes import (
         ModeTransitionInvariant, RtoOrderingInvariant,
@@ -91,6 +94,8 @@ def default_invariants() -> List[Invariant]:
         RtoOrderingInvariant(),
         AlertAttributionInvariant(),
         SpanDisciplineInvariant(),
+        AuditChainInvariant(),
+        CommandCausalityInvariant(),
     ]
 
 

@@ -1,0 +1,105 @@
+"""Ground-station invariants: audit-chain continuity and command causality.
+
+The plane's trace-visible contracts:
+
+* every ``gs.audit`` record extends the hash chain — sequence numbers are
+  contiguous from 0 and each record's ``prev`` equals the previous
+  record's ``hash``, anchored at the seed-derived genesis from the
+  ``trace.meta`` header.  A trace that breaks this either lost audit
+  records or was rewritten;
+* executed commands obey counter causality — for each (vehicle, sender)
+  pair, the counters of ``verdict="executed"`` commands are strictly
+  increasing.  A replayed command that *executes* (rather than being
+  rejected) shows up here as a non-increasing counter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.invariants.base import Invariant, Violation
+
+
+class AuditChainInvariant(Invariant):
+    """``gs.audit`` records form one contiguous, genesis-anchored chain."""
+
+    name = "gs.audit_chain"
+    subsystem = "groundstation"
+
+    def __init__(self) -> None:
+        self._seed: Optional[int] = None
+        self._prev: Optional[str] = None
+        self._next_seq = 0
+
+    def observe(self, record: dict) -> Iterator[Violation]:
+        rtype = record.get("type")
+        if rtype == "trace.meta":
+            seed = record.get("seed")
+            if seed is not None:
+                self._seed = int(seed)
+            return
+        if rtype != "gs.audit":
+            return
+        if self._prev is None:
+            # anchor lazily so traces without a seeded header still get
+            # sequence/continuity checking from the first audit record on
+            if self._seed is not None:
+                from repro.groundstation.audit import genesis_hash
+
+                self._prev = genesis_hash(self._seed)
+            else:
+                self._prev = record.get("prev")
+        seq = record.get("seq")
+        if seq != self._next_seq:
+            yield self.violation(
+                record,
+                f"audit seq {seq} breaks continuity (expected "
+                f"{self._next_seq})",
+                seq=seq, expected=self._next_seq,
+            )
+            self._next_seq = (seq + 1) if isinstance(seq, int) else (
+                self._next_seq + 1
+            )
+        else:
+            self._next_seq += 1
+        prev = record.get("prev")
+        if prev != self._prev:
+            yield self.violation(
+                record,
+                f"audit entry {seq} does not chain: prev={str(prev)[:16]}... "
+                f"but the previous hash is {str(self._prev)[:16]}...",
+                seq=seq, claimed_prev=prev, expected_prev=self._prev,
+            )
+        recorded = record.get("hash")
+        self._prev = recorded if isinstance(recorded, str) else self._prev
+
+
+class CommandCausalityInvariant(Invariant):
+    """Executed command counters are strictly increasing per sender."""
+
+    name = "gs.command_causality"
+    subsystem = "groundstation"
+
+    def __init__(self) -> None:
+        self._last: Dict[Tuple[str, str], int] = {}
+
+    def observe(self, record: dict) -> Iterator[Violation]:
+        if record.get("type") != "gs.command":
+            return
+        if record.get("verdict") != "executed":
+            return
+        key = (record.get("vehicle"), record.get("sender"))
+        counter = record.get("counter")
+        if not isinstance(counter, int):
+            return
+        last = self._last.get(key)
+        if last is not None and counter <= last:
+            yield self.violation(
+                record,
+                f"executed command counter {counter} from "
+                f"{key[1]!r} on {key[0]!r} does not advance past {last} "
+                f"(replay executed?)",
+                vehicle=key[0], sender=key[1], counter=counter, last=last,
+            )
+        else:
+            self._last[key] = counter

@@ -90,6 +90,10 @@ def replay_records(records: List[dict]) -> List[dict]:
     tracer.meta(**meta_fields)
     with trace.installed(tracer):
         prepared.scenario.run(spec.horizon_s)
+        if prepared.scenario.groundstation is not None:
+            # the recorded run closed its audit chain inside the traced
+            # window; replay must do the same or the diff flags the tail
+            prepared.scenario.groundstation.finalize()
     tracer.close()
     return tracer.records
 

@@ -47,10 +47,12 @@ def build_base_records() -> List[dict]:
     spec = RunSpec.single(
         "rf_jamming", seed=BASE_SEED, horizon_s=BASE_HORIZON_S,
         start=10.0, duration=20.0, faults=faults,
+        overrides={"groundstation_enabled": True},
     )
     prepared = compose_run(
         seed=spec.seed, horizon_s=spec.horizon_s, profile=spec.profile,
         plan=spec.plan, faults=spec.faults,
+        overrides=dict(spec.overrides),
     )
     tracer = trace.Tracer(prepared.scenario.sim, keep_records=True)
     tracer.meta(
@@ -59,6 +61,9 @@ def build_base_records() -> List[dict]:
     )
     with trace.installed(tracer):
         prepared.scenario.run(spec.horizon_s)
+        # close the audit chain inside the traced window so the gs.audit
+        # stream (and its close entry) is part of the base records
+        prepared.scenario.groundstation.finalize()
     return tracer.records
 
 
@@ -282,6 +287,39 @@ def _latency_mismatch(records: List[dict]) -> MutationResult:
     return records, records[index]["t"]
 
 
+def _broken_audit_chain(records: List[dict]) -> MutationResult:
+    index = _find(
+        records,
+        lambda r: (r.get("type") == "gs.audit"
+                   and isinstance(r.get("seq"), int) and r["seq"] >= 1),
+        "a gs.audit record with seq >= 1",
+    )
+    # the entry no longer chains onto its predecessor's hash
+    records[index]["prev"] = "0" * 64
+    return records, records[index]["t"]
+
+
+def _replayed_command_executed(records: List[dict]) -> MutationResult:
+    first = _find(
+        records,
+        lambda r: (r.get("type") == "gs.command"
+                   and r.get("verdict") == "executed"),
+        "an executed gs.command",
+    )
+    second = _find(
+        records,
+        lambda r: (r.get("type") == "gs.command"
+                   and r.get("verdict") == "executed"
+                   and r.get("vehicle") == records[first]["vehicle"]
+                   and r.get("sender") == records[first]["sender"]),
+        "a second executed gs.command from the same sender",
+        start=first + 1,
+    )
+    # the replay window somehow let an old counter execute again
+    records[second]["counter"] = records[first]["counter"]
+    return records, records[second]["t"]
+
+
 #: (name, expected invariant, mutator) — at least one per registered invariant
 MUTATIONS: List[Tuple[str, str, Mutator]] = [
     ("skipped_nonce", "crypto.nonce_sequence", _skipped_nonce),
@@ -299,6 +337,9 @@ MUTATIONS: List[Tuple[str, str, Mutator]] = [
     ("latency_mismatch", "ids.alert_attribution", _latency_mismatch),
     ("unclosed_span", "telemetry.spans", _unclosed_span),
     ("overlapping_span", "telemetry.spans", _overlapping_span),
+    ("broken_audit_chain", "gs.audit_chain", _broken_audit_chain),
+    ("replayed_command_executed", "gs.command_causality",
+     _replayed_command_executed),
 ]
 
 

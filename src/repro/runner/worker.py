@@ -106,6 +106,10 @@ def _simulate(spec: RunSpec) -> dict:
         trace.install(tracer)
     try:
         scenario.run(spec.horizon_s)
+        if scenario.groundstation is not None:
+            # close the audit chain inside the traced window so the close
+            # entry is part of the record stream (and of any audit file)
+            scenario.groundstation.finalize()
     finally:
         if tracer is not None:
             # ends any spans still open at the horizon (no-op without

@@ -43,6 +43,7 @@ _OVERRIDABLE = {
     "width", "height", "tree_density", "n_ridges", "ridge_height",
     "drone_enabled", "n_workers", "worker_approach_rate_per_h",
     "weather_initial", "weather_frozen", "pile_volume_m3",
+    "groundstation_enabled", "gs_attacks",
 }
 
 

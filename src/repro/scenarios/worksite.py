@@ -81,6 +81,14 @@ class ScenarioConfig:
     weather_initial: WeatherState = WeatherState.CLEAR
     weather_frozen: bool = False
     pile_volume_m3: float = 120.0
+    #: arm the signed ground-station command/alert plane (off by default:
+    #: a disabled run stays byte-identical to the golden traces)
+    groundstation_enabled: bool = False
+    #: "+"-separated groundstation attack kinds to arm (requires the plane);
+    #: see :data:`repro.attacks.groundstation.GS_ATTACK_KINDS`
+    gs_attacks: str = ""
+    #: stream the audit chain to this JSONL path (None keeps it in memory)
+    gs_audit_path: Optional[str] = None
     group: DhGroup = TEST_GROUP  # small group keeps scenario start-up fast
     #: sample delivery ratio / speed / separation into ``metrics`` every this
     #: many seconds; None (the default) schedules no sampler at all
@@ -117,6 +125,8 @@ class WorksiteScenario:
     heartbeat: HeartbeatMonitor
     relay: Optional[DetectionRelay]
     metrics: MetricsCollector
+    #: the signed command/alert plane, present only when enabled
+    groundstation: Optional[object] = None
 
     def run(self, duration_s: float) -> None:
         """Advance the simulation by ``duration_s``."""
@@ -127,7 +137,7 @@ class WorksiteScenario:
 
     def summary(self) -> dict:
         """End-of-run headline numbers."""
-        return {
+        summary = {
             "time_s": self.sim.now,
             "delivered_m3": self.mission.delivered_m3,
             "cycles": self.mission.cycles_completed,
@@ -136,6 +146,11 @@ class WorksiteScenario:
             "safety": self.safety_monitor.summary(),
             "alerts": len(self.ids_manager.alerts) if self.ids_manager else 0,
         }
+        # present only when the plane is armed: plane-off summaries keep
+        # their exact pre-existing shape (same discipline as the tracer)
+        if self.groundstation is not None:
+            summary["groundstation"] = self.groundstation.summary()
+        return summary
 
     def collect_metrics(self) -> MetricsCollector:
         """Fold every subsystem's counters into :attr:`metrics`.
@@ -424,6 +439,24 @@ def build_worksite(config: Optional[ScenarioConfig] = None) -> WorksiteScenario:
         [forwarder, harvester], workers, sim, log
     )
 
+    # -- ground-station plane (strictly opt-in) -----------------------------------
+    groundstation = None
+    if config.groundstation_enabled:
+        # imported lazily so plane-off runs never even load the subsystem
+        from repro.attacks.groundstation import build_gs_attacks
+        from repro.groundstation import GroundStation
+
+        groundstation = GroundStation(
+            sim, log, config.seed, forwarder=forwarder, drone=drone,
+            audit_path=config.gs_audit_path,
+        )
+        if config.gs_attacks:
+            build_gs_attacks(config.gs_attacks, groundstation, sim, log)
+    elif config.gs_attacks:
+        raise ValueError(
+            "gs_attacks requires groundstation_enabled=True"
+        )
+
     if config.metrics_interval_s is not None:
 
         def _sample_metrics() -> None:
@@ -466,6 +499,7 @@ def build_worksite(config: Optional[ScenarioConfig] = None) -> WorksiteScenario:
         heartbeat=heartbeat,
         relay=relay,
         metrics=metrics,
+        groundstation=groundstation,
     )
 
 

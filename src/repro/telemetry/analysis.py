@@ -304,6 +304,59 @@ def timeline_report(records: Sequence[dict], *, limit: int = 80) -> str:
     return "\n".join(lines)
 
 
+# -- ground-station plane -----------------------------------------------------
+
+def groundstation_metrics(records: Sequence[dict]) -> dict:
+    """Command/alert/audit digest of a plane-enabled trace."""
+    commands = of_type(records, "gs.command")
+    alerts = of_type(records, "gs.alert")
+    audits = of_type(records, "gs.audit")
+    verdicts: Dict[str, int] = {}
+    for record in commands:
+        verdict = record.get("verdict", "?")
+        verdicts[verdict] = verdicts.get(verdict, 0) + 1
+    alert_kinds: Dict[str, int] = {}
+    for record in alerts:
+        kind = record.get("kind", "?")
+        alert_kinds[kind] = alert_kinds.get(kind, 0) + 1
+    audit_verdicts: Dict[str, int] = {}
+    for record in audits:
+        verdict = record.get("verdict", "?")
+        audit_verdicts[verdict] = audit_verdicts.get(verdict, 0) + 1
+    closed = any(r.get("verdict") == "close" for r in audits)
+    return {
+        "commands": len(commands),
+        "command_verdicts": dict(sorted(verdicts.items())),
+        "alerts": len(alerts),
+        "alert_kinds": dict(sorted(alert_kinds.items())),
+        "audit_entries": len(audits),
+        "audit_verdicts": dict(sorted(audit_verdicts.items())),
+        "audit_closed": closed,
+        "audit_head": audits[-1].get("hash") if audits else None,
+    }
+
+
+def groundstation_report(records: Sequence[dict]) -> str:
+    """The ground-station metrics as a readable block."""
+    metrics = groundstation_metrics(records)
+    lines = ["ground-station plane", "=" * 40]
+    lines.append(f"commands:        {metrics['commands']}")
+    for verdict, count in metrics["command_verdicts"].items():
+        lines.append(f"  {verdict:<28} {count}")
+    lines.append(f"alerts:          {metrics['alerts']}")
+    for kind, count in metrics["alert_kinds"].items():
+        lines.append(f"  {kind:<28} {count}")
+    closed = "closed" if metrics["audit_closed"] else "NOT CLOSED"
+    lines.append(
+        f"audit chain:     {metrics['audit_entries']} entries ({closed})"
+    )
+    for verdict, count in metrics["audit_verdicts"].items():
+        lines.append(f"  {verdict:<28} {count}")
+    if metrics["audit_head"]:
+        lines.append(f"  head {metrics['audit_head']}")
+    return "\n".join(lines)
+
+
 # -- invariant / replay violation report --------------------------------------
 
 def check_report(report: dict, *, limit: int = 10) -> str:
@@ -453,6 +506,9 @@ def full_report(records: Sequence[dict]) -> str:
     if any(r.get("type") in ("fault.inject", "mode.transition")
            for r in records):
         reports.append(resilience_report(records))
+    if any(r.get("type") in ("gs.command", "gs.alert", "gs.audit")
+           for r in records):
+        reports.append(groundstation_report(records))
     reports.append(timeline_report(records))
     if has_spans(records):
         reports.append(span_report(records))

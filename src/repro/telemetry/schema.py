@@ -89,6 +89,11 @@ RECORD_TYPES: Dict[str, FrozenSet[str]] = {
     "mode.transition": frozenset({"machine", "mode", "prev"}),
     "service.down": frozenset({"service", "cause"}),
     "service.up": frozenset({"service", "outage_s"}),
+    # ground-station plane (additive under v1, same discipline as faults:
+    # gs.* records never occur when the plane is disabled)
+    "gs.command": frozenset({"vehicle", "sender", "command", "counter", "verdict"}),
+    "gs.alert": frozenset({"node", "kind", "counter"}),
+    "gs.audit": frozenset({"seq", "topic", "sender", "verdict", "hash", "prev"}),
 }
 
 #: the causal hierarchy a span may belong to (see repro.telemetry.spans)

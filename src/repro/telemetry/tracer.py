@@ -343,6 +343,27 @@ class Tracer:
             fields["machine"] = machine
         self._emit("service.up", **fields)
 
+    # -- ground-station plane -------------------------------------------------
+    def gs_command(
+        self, vehicle: str, sender: str, command: str, counter: int, verdict: str
+    ) -> None:
+        self._emit(
+            "gs.command", vehicle=vehicle, sender=sender, command=command,
+            counter=counter, verdict=verdict,
+        )
+
+    def gs_alert(self, node: str, kind: str, counter: int) -> None:
+        self._emit("gs.alert", node=node, kind=kind, counter=counter)
+
+    def gs_audit(
+        self, seq: int, topic: str, sender: str, verdict: str,
+        hash: str, prev: str,
+    ) -> None:
+        self._emit(
+            "gs.audit", seq=seq, topic=topic, sender=sender,
+            verdict=verdict, hash=hash, prev=prev,
+        )
+
     # -- summary --------------------------------------------------------------
     @property
     def record_count(self) -> int:
@@ -411,6 +432,17 @@ class Tracer:
                 "mode_transitions": self._by_type.get("mode.transition", 0),
                 "service_outages": self._by_type.get("service.down", 0),
                 "service_recoveries": self._by_type.get("service.up", 0),
+            }
+        # only present when the ground-station plane emitted records, so
+        # plane-off summaries keep their exact pre-existing shape
+        gs_audits = self._by_type.get("gs.audit", 0)
+        if gs_audits or self._by_type.get("gs.command", 0) or self._by_type.get(
+            "gs.alert", 0
+        ):
+            summary["groundstation"] = {
+                "commands": self._by_type.get("gs.command", 0),
+                "alerts": self._by_type.get("gs.alert", 0),
+                "audit_entries": gs_audits,
             }
         # only present when the span layer was armed, preserving the exact
         # summary shape of spans-off runs (same pattern as resilience)

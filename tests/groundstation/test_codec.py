@@ -1,0 +1,144 @@
+"""Unit tests for the signed ground-station codec and keyring."""
+
+import json
+
+import pytest
+
+from repro.groundstation.codec import (
+    COMMANDS,
+    SIG_BYTES,
+    GsCodecError,
+    GsMessage,
+    decode,
+    decode_unverified,
+    encode,
+    sign,
+)
+from repro.groundstation.keys import GsKeyring
+
+KEY = b"k" * 32
+
+
+def make(**over):
+    fields = dict(
+        topic="gs/cmd/forwarder", sender="control", counter=3, t=12.5,
+        kind="command", payload={"command": "pause"},
+    )
+    fields.update(over)
+    return GsMessage.make(**fields)
+
+
+class TestMessage:
+    def test_make_normalises(self):
+        message = GsMessage.make(
+            "gs/cmd/forwarder", "control", 3, 12.123456789, "command",
+            {"b": 2, "a": 1},
+        )
+        assert message.t == 12.123457  # trace precision
+        assert message.payload == (("a", 1), ("b", 2))  # sorted, frozen
+        assert message.payload_dict() == {"a": 1, "b": 2}
+
+    def test_commands_are_closed_set(self):
+        assert set(COMMANDS) == {"start", "pause", "safe_stop", "rejoin"}
+
+
+class TestCodec:
+    def test_round_trip(self):
+        message = make()
+        wire = encode(message, KEY)
+        assert decode(wire, KEY) == message
+        assert encode(decode(wire, KEY), KEY) == wire
+
+    def test_wire_layout(self):
+        wire = encode(make(), KEY)
+        body = wire[:-SIG_BYTES]
+        assert json.loads(body)["topic"] == "gs/cmd/forwarder"
+        assert wire[-SIG_BYTES:] == sign(body, KEY)
+
+    def test_wrong_key_rejected(self):
+        wire = encode(make(), KEY)
+        with pytest.raises(GsCodecError):
+            decode(wire, b"x" * 32)
+
+    def test_tampered_body_rejected(self):
+        wire = bytearray(encode(make(), KEY))
+        wire[10] ^= 0x01
+        with pytest.raises(GsCodecError):
+            decode(bytes(wire), KEY)
+
+    def test_tampered_tag_rejected(self):
+        wire = bytearray(encode(make(), KEY))
+        wire[-1] ^= 0x01
+        with pytest.raises(GsCodecError):
+            decode(bytes(wire), KEY)
+
+    def test_short_wire_rejected(self):
+        with pytest.raises(GsCodecError):
+            decode(b"x" * SIG_BYTES, KEY)
+
+    def test_non_canonical_wire_rejected(self):
+        # same content, non-canonical encoding (whitespace), valid tag:
+        # a correctly-signed wire that is not THE wire must still fail
+        body = json.dumps(
+            {
+                "counter": 3, "kind": "command",
+                "payload": {"command": "pause"}, "sender": "control",
+                "t": 12.5, "topic": "gs/cmd/forwarder",
+            },
+            sort_keys=True, separators=(", ", ": "),
+        ).encode()
+        with pytest.raises(GsCodecError, match="canonical"):
+            decode(body + sign(body, KEY), KEY)
+
+    @pytest.mark.parametrize("fields", [
+        {"counter": True},
+        {"counter": -1},
+        {"counter": "3"},
+        {"t": "now"},
+        {"t": True},
+        {"payload": []},
+        {"topic": ""},
+        {"sender": 7},
+        {"kind": ""},
+    ])
+    def test_malformed_fields_rejected(self, fields):
+        body_fields = {
+            "counter": 3, "kind": "command",
+            "payload": {"command": "pause"}, "sender": "control",
+            "t": 12.5, "topic": "gs/cmd/forwarder",
+        }
+        body_fields.update(fields)
+        body = json.dumps(
+            body_fields, sort_keys=True, separators=(",", ":")
+        ).encode()
+        with pytest.raises(GsCodecError):
+            decode(body + sign(body, KEY), KEY)
+
+    def test_missing_field_rejected(self):
+        body = json.dumps({"topic": "gs/cmd/forwarder"}).encode()
+        with pytest.raises(GsCodecError, match="missing"):
+            decode(body + sign(body, KEY), KEY)
+
+    def test_decode_unverified_skips_tag(self):
+        wire = bytearray(encode(make(), KEY))
+        wire[-1] ^= 0x01  # broken tag
+        assert decode_unverified(bytes(wire)) == make()
+
+
+class TestKeyring:
+    def test_keys_derive_from_seed(self):
+        a, b = GsKeyring(11), GsKeyring(11)
+        assert a.key_for("control") == b.key_for("control")
+        assert GsKeyring(12).key_for("control") != a.key_for("control")
+
+    def test_keys_differ_per_principal(self):
+        ring = GsKeyring(11)
+        assert ring.key_for("control") != ring.key_for("forwarder")
+
+    def test_roles(self):
+        ring = GsKeyring(11)
+        ring.register("control", "operator")
+        ring.register("forwarder", "vehicle")
+        assert ring.is_operator("control")
+        assert not ring.is_operator("forwarder")
+        assert not ring.is_operator("nobody")

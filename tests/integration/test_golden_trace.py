@@ -58,6 +58,20 @@ class TestGoldenTrace:
         )
         assert hashlib.sha256(raw).hexdigest() == GOLDEN_SHA256
 
+    def test_groundstation_disabled_reproduces_golden_bytes(self, tmp_path):
+        # the ground-station plane is strictly additive: with the plane
+        # off (the default) its import, schema entries, invariants and IDS
+        # rules must not move a single byte of the pre-plane golden trace
+        import repro.groundstation  # noqa: F401 - imported for the side
+        # effects it must NOT have on a plane-off run
+
+        raw = record_trace(
+            tmp_path / "trace.jsonl", arm_empty_schedule=True
+        )
+        assert hashlib.sha256(raw).hexdigest() == GOLDEN_SHA256, (
+            "the ground-station layer perturbed a plane-off golden trace"
+        )
+
     def test_online_invariant_checking_is_zero_perturbation(self, tmp_path):
         # REPRO_CHECK rides on the record stream *after* each write, so
         # checking the golden recipe must reproduce the golden bytes —

@@ -17,6 +17,8 @@ EXPECTED_REGISTRY = {
     "crypto.replay_window",
     "frames.causality",
     "frames.drop_taxonomy",
+    "gs.audit_chain",
+    "gs.command_causality",
     "modes.transition_legality",
     "modes.rto_ordering",
     "ids.alert_attribution",

@@ -196,6 +196,94 @@ class TestHangingCell:
         assert statuses == ["timeout", "ok"]
 
 
+#: TINY with the signed ground-station plane (and two attacks) armed
+GS_TINY = dict(
+    TINY,
+    groundstation_enabled=True,
+    gs_attacks="command_forgery+command_replay",
+)
+
+
+class TestAuditChainChaos:
+    """The evidence chain under infrastructure failure: a kill must never
+    change what the chain says (resume reproduces it byte-identically) nor
+    leave an unverifiable file behind (the prefix always verifies)."""
+
+    @fork_only
+    def test_sigkilled_worker_reproduces_identical_audit_chain(self, tmp_path):
+        spec = tiny_spec(seed=7, overrides=GS_TINY)
+        clean = execute_run(spec)
+        assert clean["status"] == "ok", clean["error"]
+
+        CHAOS.update(mode="die_once", victims=(spec.key,))
+        store = CampaignStore(tmp_path / "c.db")
+        store.ensure_campaign("gs", [spec])
+        runner = SweepRunner(
+            jobs=2, task=_chaos_execute_run, store=store.bind("gs"),
+            retry_policy=CellRetryPolicy(base_delay_s=0.01),
+        )
+        report = runner.run([spec])
+        assert report.failed == 0
+        assert report.attempts[spec.key] >= 2
+        (record,) = report.records
+        gs_clean = clean["result"]["summary"]["groundstation"]
+        gs_chaotic = record["result"]["summary"]["groundstation"]
+        assert json.dumps(gs_chaotic, sort_keys=True) == \
+            json.dumps(gs_clean, sort_keys=True)
+        assert gs_chaotic["audit"]["closed"]
+        assert gs_chaotic["audit"]["entries"] > 0
+        # the chain the campaign DB serves on resume is the same bytes
+        stored = store.bind("gs").load()[spec.key]
+        assert json.dumps(stored["result"], sort_keys=True) == \
+            json.dumps(clean["result"], sort_keys=True)
+
+    def test_killed_trace_leaves_verifiable_audit_prefix(self, tmp_path):
+        """SIGKILL a real ``trace --gs --audit-out`` run mid-flight: the
+        flush-per-entry discipline must leave a file whose surviving prefix
+        verifies (at most a torn final line, never a broken chain)."""
+        from repro.groundstation.audit import verify_audit_file
+
+        audit = tmp_path / "audit.jsonl"
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "trace",
+             "--seed", "11", "--minutes", "60", "--gs",
+             "--gs-attacks", "command_forgery+command_replay",
+             "--out", str(tmp_path / "trace.jsonl"),
+             "--audit-out", str(audit), "--no-report"],
+            env=env, cwd=tmp_path,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            # kill the moment a few entries are on disk, long before the
+            # 60-minute horizon can complete and close the chain
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if audit.exists() and \
+                        len(audit.read_bytes().splitlines()) >= 4:
+                    break
+                if proc.poll() is not None:
+                    pytest.fail("trace run exited before it could be killed")
+                time.sleep(0.05)
+            else:
+                pytest.fail("audit file never accumulated entries")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=30)
+
+        report = verify_audit_file(str(audit), require_close=False)
+        assert report["ok"], report["violations"]
+        assert not report["complete"]  # killed: no terminal close entry
+        assert report["entries"] >= 1
+        # strict mode still refuses the truncated chain, as it must
+        strict = verify_audit_file(str(audit))
+        assert not strict["ok"]
+        assert strict["violations"][-1]["check"] == "close"
+
+
 class TestKillAndResume:
     """The acceptance scenario: SIGKILL the *driver* mid-campaign, resume
     from the campaign DB, and get byte-identical aggregate results."""

@@ -127,7 +127,7 @@ class TestInvariantFolding:
         assert record["status"] == "ok"
         invariants = record["result"]["invariants"]
         assert invariants["violations"] == 0, invariants
-        assert invariants["checked"] == 10
+        assert invariants["checked"] == 12
 
     def test_checking_does_not_change_the_result(self, monkeypatch):
         monkeypatch.delenv("REPRO_CHECK", raising=False)

@@ -17,6 +17,7 @@ from hypothesis import strategies as st
 
 from repro.faults.spec import FAULT_KINDS, FaultSchedule, FaultSpec
 from repro.fuzz.generator import FAULT_TARGETS
+from repro.groundstation.codec import ALERT_KINDS, COMMANDS, GsMessage
 from repro.runner.spec import RunSpec
 from repro.scenarios.campaigns import CAMPAIGN_BUILDERS
 from repro.scenarios.factory import IDS_FAMILIES, PROFILES
@@ -150,6 +151,70 @@ def run_specs(draw, max_plan_steps: int = 2, max_faults: int = 3) -> RunSpec:
         overrides=tuple(sorted(overrides.items())),
         faults=faults,
     )
+
+
+# -- ground-station plane ----------------------------------------------------
+
+#: principal names drawn for ground-station messages
+gs_principals = st.sampled_from(("control", "forwarder", "drone", "ops-2"))
+
+#: signed-plane command verbs
+gs_commands = st.sampled_from(COMMANDS)
+
+#: JSON-safe payload scalars (the canonical codec forbids NaN/inf)
+_gs_scalars = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-2 ** 53, max_value=2 ** 53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=16),
+)
+
+#: HMAC keys for codec round-trip properties
+gs_keys = st.binary(min_size=16, max_size=32)
+
+
+@st.composite
+def gs_payloads(draw, max_keys: int = 4) -> dict:
+    """A JSON-safe command/alert payload dict."""
+    keys = draw(st.lists(st.text(min_size=1, max_size=12),
+                         max_size=max_keys, unique=True))
+    return {key: draw(_gs_scalars) for key in keys}
+
+
+@st.composite
+def gs_messages(draw) -> GsMessage:
+    """Any well-formed ground-station message (command or alert)."""
+    kind = draw(st.sampled_from(("command",) + tuple(ALERT_KINDS)))
+    vehicle = draw(st.sampled_from(("forwarder", "drone")))
+    payload = draw(gs_payloads())
+    if kind == "command":
+        payload["command"] = draw(gs_commands)
+    topic_kind = "cmd" if kind == "command" else "alert"
+    return GsMessage.make(
+        topic=f"gs/{topic_kind}/{vehicle}",
+        sender=draw(gs_principals),
+        counter=draw(st.integers(min_value=0, max_value=2 ** 31)),
+        t=draw(st.floats(min_value=0.0, max_value=1e6,
+                         allow_nan=False, allow_infinity=False)),
+        kind=kind,
+        payload=payload,
+    )
+
+
+@st.composite
+def gs_command_scripts(draw, max_size: int = 6):
+    """One operator session: ``(issue_time, command)`` at increasing times."""
+    commands = draw(st.lists(gs_commands, min_size=1, max_size=max_size))
+    gaps = draw(st.lists(
+        st.floats(min_value=0.5, max_value=5.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=len(commands), max_size=len(commands),
+    ))
+    script, now = [], 1.0
+    for command, gap in zip(commands, gaps):
+        now += gap
+        script.append((round(now, 3), command))
+    return script
 
 
 def assert_valid_spec(spec: RunSpec) -> None:

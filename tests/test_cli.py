@@ -578,4 +578,4 @@ class TestRunWithChecking:
             "trace", "--seed", "11", "--minutes", "1", "--spans",
             "--out", out, "--no-report",
         ]) == 0
-        assert "10 checked, 0 violation(s)" in capsys.readouterr().out
+        assert "12 checked, 0 violation(s)" in capsys.readouterr().out
